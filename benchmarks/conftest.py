@@ -1,0 +1,68 @@
+"""Shared fixtures: compiled suite modules, cached per session."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+_capture_manager = None
+
+
+def pytest_configure(config):
+    global _capture_manager
+    _capture_manager = config.pluginmanager.getplugin("capturemanager")
+
+
+def report(*parts) -> None:
+    """Print a results line past pytest's capture (including fd-level
+    capture), so the regenerated tables always land in the terminal /
+    tee'd output."""
+    text = " ".join(str(p) for p in parts) + "\n"
+    if _capture_manager is not None:
+        with _capture_manager.global_and_fixture_disabled():
+            sys.stdout.write(text)
+            sys.stdout.flush()
+    else:
+        sys.stdout.write(text)
+
+from repro.benchsuite import benchmark_names, load_source
+from repro.driver.pipelines import compile_and_link, optimize_module
+from repro.frontend import compile_source
+from repro.linker import link_modules
+
+_cache: dict = {}
+
+
+def compiled_suite() -> dict:
+    """name -> fully optimized (linked, LTO) module for every program."""
+    if "suite" not in _cache:
+        suite = {}
+        for name in benchmark_names():
+            suite[name] = compile_and_link([load_source(name)], name)
+        _cache["suite"] = suite
+    return _cache["suite"]
+
+
+def linked_suite_no_lto() -> dict:
+    """name -> linked module with per-TU -O2 but *no* interprocedural
+    optimization yet (the input the link-time optimizer sees)."""
+    if "no_lto" not in _cache:
+        suite = {}
+        for name in benchmark_names():
+            module = compile_source(load_source(name), name)
+            optimize_module(module, 2)
+            suite[name] = link_modules([module], name)
+        _cache["no_lto"] = suite
+    return _cache["no_lto"]
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return compiled_suite()
+
+
+@pytest.fixture(scope="session")
+def pre_lto_suite():
+    return linked_suite_no_lto()

@@ -1,0 +1,80 @@
+"""Experiment E6 — the instruction-set and encoding claims of
+sections 2.1 and 4.1.3.
+
+* "The entire LLVM instruction set consists of only 31 opcodes";
+* "most instructions requiring only a single 32-bit word each";
+* opcode overloading: one ``add`` serves every operand type;
+* "large programs are encoded less efficiently than smaller ones
+  because they have a larger set of register values available at any
+  point" — the packed fraction falls as functions grow.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite import BENCHMARKS
+from repro.bitcode.writer import BytecodeWriter
+from repro.core.instructions import Opcode
+
+from conftest import report
+
+
+def test_exactly_31_opcodes():
+    assert len(Opcode) == 31
+
+
+def test_single_word_instruction_fraction(suite, benchmark):
+    def measure():
+        results = []
+        for info in BENCHMARKS:
+            writer = BytecodeWriter()
+            writer.write(suite[info.name])
+            results.append((info.spec_name, writer.packed_count,
+                            writer.escaped_count))
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report()
+    report("Encoding census: instructions fitting one 32-bit word")
+    grand_packed = 0
+    grand_total = 0
+    for name, packed, escaped in results:
+        total = packed + escaped
+        fraction = packed / total if total else 1.0
+        report(f"{name:<12} {packed:>6}/{total:<6} ({fraction:.0%})")
+        grand_packed += packed
+        grand_total += total
+    overall = grand_packed / grand_total
+    report(f"{'overall':<12} {grand_packed:>6}/{grand_total:<6} ({overall:.0%})")
+    assert overall >= 0.5, "most instructions should fit a single word"
+
+
+def test_larger_functions_pack_worse(suite):
+    """The paper's observation that bigger value sets defeat the packed
+    form: the *smallest* programs should pack at least as well as the
+    largest ones on average."""
+    measured = []
+    for info in BENCHMARKS:
+        module = suite[info.name]
+        writer = BytecodeWriter()
+        writer.write(module)
+        total = writer.packed_count + writer.escaped_count
+        measured.append((module.instruction_count(),
+                         writer.packed_count / total if total else 1.0))
+    measured.sort()
+    half = len(measured) // 2
+    small_mean = sum(f for _, f in measured[:half]) / half
+    large_mean = sum(f for _, f in measured[half:]) / (len(measured) - half)
+    report(f"\npacked fraction: small programs {small_mean:.0%}, "
+          f"large programs {large_mean:.0%}")
+    assert small_mean >= large_mean - 0.05
+
+
+def test_opcode_overloading(suite):
+    """One add opcode serves int and float operands alike."""
+    add_types = set()
+    for name in ("equake", "art"):
+        for function in suite[name].defined_functions():
+            for inst in function.instructions():
+                if inst.opcode == Opcode.ADD:
+                    add_types.add(str(inst.type))
+    assert len(add_types) >= 2, "add should be used at multiple types"

@@ -1,0 +1,108 @@
+"""Ablation — the value of link-time whole-program optimization.
+
+Section 3.3's thesis is that link time is "a natural place to perform
+aggressive interprocedural optimizations across the entire program";
+this ablation quantifies it on the suite by compiling each program
+three ways:
+
+* -O0 (straight front-end output),
+* -O2 per-module only (what a traditional source-level compiler
+  without cross-module optimization can do),
+* -O2 + link-time interprocedural optimization (the LLVM model).
+
+Interpreter steps (work) and bytecode size are reported for each.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite import BENCHMARKS, load_source
+from repro.bitcode import write_bytecode
+from repro.driver.pipelines import compile_and_link, optimize_module
+from repro.execution import Interpreter
+from repro.frontend import compile_source
+
+from conftest import report
+
+STEP_LIMIT = 100_000_000
+
+
+def _steps(module) -> int:
+    interp = Interpreter(module, step_limit=STEP_LIMIT)
+    interp.run("main")
+    return interp.steps
+
+
+def _measure_one(name: str) -> tuple[int, int, int, int, int, int]:
+    source = load_source(name)
+    o0 = compile_source(source, name)
+    o0_steps = _steps(o0)
+    o0_size = len(write_bytecode(o0))
+
+    o2 = compile_source(source, name)
+    optimize_module(o2, 2)
+    o2_steps = _steps(o2)
+    o2_size = len(write_bytecode(o2))
+
+    lto = compile_and_link([source], name)
+    lto_steps = _steps(lto)
+    lto_size = len(write_bytecode(lto))
+    return o0_steps, o2_steps, lto_steps, o0_size, o2_size, lto_size
+
+
+def test_lto_ablation(benchmark):
+    def run():
+        return {info.name: _measure_one(info.name) for info in BENCHMARKS}
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = (f"{'Benchmark':<12} {'-O0 steps':>10} {'-O2 steps':>10} "
+              f"{'+LTO steps':>11} {'O2/O0':>6} {'LTO/O0':>7}")
+    report()
+    report("Ablation: per-module -O2 vs link-time whole-program optimization")
+    report(header)
+    report("-" * len(header))
+    totals = [0, 0, 0]
+    for info in BENCHMARKS:
+        o0, o2, lto, *_ = rows[info.name]
+        totals[0] += o0
+        totals[1] += o2
+        totals[2] += lto
+        report(f"{info.spec_name:<12} {o0:>10} {o2:>10} {lto:>11} "
+              f"{o2/o0:>6.2f} {lto/o0:>7.2f}")
+    report("-" * len(header))
+    report(f"{'total':<12} {totals[0]:>10} {totals[1]:>10} {totals[2]:>11} "
+          f"{totals[1]/totals[0]:>6.2f} {totals[2]/totals[0]:>7.2f}")
+
+    # The shape: each stage helps, LTO beats per-module -O2 overall.
+    assert totals[1] < totals[0], "-O2 reduces work"
+    assert totals[2] < totals[1], "link-time IPO reduces work further"
+    # And per program, LTO never loses to -O0.
+    for info in BENCHMARKS:
+        o0, _, lto, *_ = rows[info.name]
+        assert lto <= o0
+
+
+def test_lto_collapses_call_graph(benchmark):
+    """LTO's structural effect: whole-program inlining plus dead-global
+    elimination collapse most internal functions away.  (Bytecode size
+    itself may *grow* slightly — inlining duplicates bodies faster than
+    DGE deletes them on these single-TU programs — which the paper's
+    model accepts: code size is the code generator's concern, the
+    representation's job is to enable the interprocedural rewrite.)"""
+    def run():
+        before_total = 0
+        after_total = 0
+        for info in BENCHMARKS:
+            source = load_source(info.name)
+            o2 = compile_source(source, info.name)
+            optimize_module(o2, 2)
+            before_total += sum(1 for _ in o2.defined_functions())
+            lto = compile_and_link([source], info.name)
+            after_total += sum(1 for _ in lto.defined_functions())
+        return before_total, after_total
+
+    before_total, after_total = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"\ndefined functions across the suite: {before_total} at -O2, "
+          f"{after_total} after link-time optimization")
+    assert after_total < before_total / 2, (
+        "whole-program optimization should absorb most helpers"
+    )

@@ -1,0 +1,198 @@
+"""Experiment E10 — section 2.4: invoke/unwind implements C++ exception
+handling (and setjmp/longjmp) uniformly, and link-time analysis removes
+unused exception handlers (section 4.1.2).
+
+Covers:
+
+* the Figure 2 pattern (cleanup code runs during unwinding, then
+  unwinding continues);
+* the Figure 3 pattern (runtime-allocated exception object + explicit
+  unwind);
+* the LC surface syntax (try/catch/throw) through the full pipeline;
+* prune-eh demoting invokes of no-unwind callees into plain calls.
+"""
+
+from __future__ import annotations
+
+from repro.core import IRBuilder, Module, types, verify_module
+from repro.core.instructions import InvokeInst, Opcode
+from repro.core.values import ConstantInt
+from repro.cxxfe import build_throw, build_try_catch
+from repro.cxxfe.exceptions import current_exception
+from repro.driver.pipelines import compile_and_link, link_time_optimize
+from repro.execution import Interpreter
+from repro.frontend import compile_source
+from repro.transforms.ipo import PruneExceptionHandlers
+
+from conftest import report
+
+
+def _build_figure23_module() -> Module:
+    """thrower() performs Figure 3's ``throw 42``; main wraps the call
+    in Figure 2's invoke with cleanup, catches, and reads the value."""
+    module = Module("figure23")
+
+    thrower = module.new_function(types.function(types.VOID, [types.INT]),
+                                  "thrower", arg_names=["x"])
+    builder = IRBuilder(thrower.append_block("entry"))
+    ok = thrower.append_block("no.throw")
+    bad = thrower.append_block("do.throw")
+    limit = ConstantInt(types.INT, 100)
+    builder.cond_br(builder.setgt(thrower.args[0], limit, "big"), bad, ok)
+    builder.position_at_end(ok)
+    builder.ret_void()
+    builder.position_at_end(bad)
+    build_throw(module, builder, thrower.args[0], typeid=7)
+
+    cleanup_log = module.new_global(types.INT, "cleanups_run",
+                                    ConstantInt(types.INT, 0))
+
+    main = module.new_function(types.function(types.INT, [types.INT]),
+                               "main", arg_names=["n"])
+    builder = IRBuilder(main.append_block("entry"))
+    caught_block = main.append_block("caught")
+
+    def cleanup(handler: IRBuilder) -> None:
+        # Figure 2: the destructor runs while unwinding is paused.
+        count = handler.load(cleanup_log, "c")
+        handler.store(handler.add(count, ConstantInt(types.INT, 1), "c1"),
+                      cleanup_log)
+
+    def handler_body(handler: IRBuilder) -> None:
+        handler.br(caught_block)
+
+    _, normal = build_try_catch(module, builder, thrower, [main.args[0]],
+                                handler_body, cleanup)
+    normal.ret(ConstantInt(types.INT, 0))
+
+    catcher = IRBuilder(caught_block)
+    _, typeid = current_exception(module, catcher)
+    catcher.ret(typeid)
+    verify_module(module)
+    return module
+
+
+def test_figure2_figure3_exception_flow(benchmark):
+    def run():
+        module = _build_figure23_module()
+        quiet = Interpreter(module)
+        no_throw = quiet.run("main", [5])
+        loud = Interpreter(module)
+        thrown = loud.run("main", [500])
+        return module, quiet, no_throw, loud, thrown
+
+    module, quiet, no_throw, loud, thrown = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert no_throw == 0, "no exception: the normal path returns 0"
+    assert thrown == 7, "the handler sees the thrown typeid"
+    # Figure 2's guarantee: cleanup ran exactly once, only when unwinding.
+    quiet_cleanups = quiet.memory.load(
+        quiet.global_addresses[id(module.globals["cleanups_run"])], types.INT
+    )
+    loud_cleanups = loud.memory.load(
+        loud.global_addresses[id(module.globals["cleanups_run"])], types.INT
+    )
+    assert quiet_cleanups == 0 and loud_cleanups == 1
+    report(f"\nno-throw: rc=0, cleanups=0; throw: rc=7 (typeid), cleanups=1")
+
+
+LC_EH_PROGRAM = r"""
+extern int print_int(int x);
+static int depth_reached = 0;
+
+static void descend(int depth) {
+  depth_reached = depth;
+  if (depth >= 4) { throw; }
+  descend(depth + 1);
+}
+
+int main() {
+  int caught = 0;
+  try {
+    descend(0);
+    caught = 100;       // unreachable: descend always throws
+  } catch {
+    caught = depth_reached;
+  }
+  print_int(caught);
+  return caught;
+}
+"""
+
+
+def test_lc_try_catch_through_pipeline(benchmark):
+    """The LC surface syntax: a throw four frames deep unwinds through
+    the intermediate activations to the catch in main — before and
+    after full optimization."""
+    def run():
+        unopt = compile_source(LC_EH_PROGRAM, "eh")
+        raw = Interpreter(unopt).run("main")
+        opt = compile_and_link([LC_EH_PROGRAM], "eh")
+        cooked = Interpreter(opt).run("main")
+        return raw, cooked
+
+    raw, cooked = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert raw == 4, "the catch should observe the depth at throw time"
+    assert cooked == raw, "optimization must preserve EH semantics"
+
+
+def test_prune_eh_removes_unused_handlers():
+    """Section 4.1.2: interprocedural analysis eliminates exception
+    handlers guarding calls that can never unwind."""
+    source = r"""
+extern int print_int(int x);
+static int safe_helper(int x) { return x * 2 + 1; }
+int main() {
+  int result = 0;
+  try {
+    result = safe_helper(20);
+  } catch {
+    result = 0 - 1;
+  }
+  return result;
+}
+"""
+    module = compile_source(source, "prune")
+    invokes_before = sum(
+        1 for f in module.defined_functions() for i in f.instructions()
+        if isinstance(i, InvokeInst)
+    )
+    assert invokes_before == 1, "the try block produces an invoke"
+    baseline = Interpreter(module).run("main")
+
+    PruneExceptionHandlers().run_on_module(module)
+    verify_module(module)
+    invokes_after = sum(
+        1 for f in module.defined_functions() for i in f.instructions()
+        if isinstance(i, InvokeInst)
+    )
+    assert invokes_after == 0, "the no-unwind callee's invoke is demoted"
+    assert Interpreter(module).run("main") == baseline == 41
+
+
+def test_unwind_to_direct_branch_via_inlining():
+    """The paper: inlining lets LLVM "turn stack unwinding operations
+    into direct branches when the unwind target is the same function"."""
+    source = r"""
+static int boom(int x) {
+  if (x > 10) { throw; }
+  return x;
+}
+int main() {
+  int out = 0;
+  try {
+    out = boom(50);
+  } catch {
+    out = 99;
+  }
+  return out;
+}
+"""
+    module = compile_and_link([source], "inline_eh")
+    unwinds = sum(
+        1 for f in module.defined_functions() for i in f.instructions()
+        if i.opcode == Opcode.UNWIND
+    )
+    assert unwinds == 0, "the inlined unwind should become a branch"
+    assert Interpreter(module).run("main") == 99

@@ -1,0 +1,84 @@
+"""Experiments E3/E4 — paper Figure 5: executable sizes for the LLVM
+bytecode, x86, and SPARC representations.
+
+The paper's claims:
+
+* "LLVM code is about the same size as native X86 executables (a
+  denser, variable-size instruction set)";
+* "significantly smaller than SPARC (a traditional 32-bit instruction
+  RISC machine)" — roughly 25% smaller on average;
+* (section 4.1.3) bzip2-style compression shrinks bytecode files to
+  about 50% — "indicating substantial margin for improvement".
+"""
+
+from __future__ import annotations
+
+import bz2
+
+from repro.backend import SPARC, X86, compile_for_size
+from repro.bitcode import write_bytecode
+from repro.benchsuite import BENCHMARKS
+
+from conftest import report
+
+
+def _run_figure(suite) -> dict[str, tuple[int, int, int]]:
+    rows = {}
+    for info in BENCHMARKS:
+        module = suite[info.name]
+        llvm_size = len(write_bytecode(module))
+        x86_size = compile_for_size(module, X86).total_size
+        sparc_size = compile_for_size(module, SPARC).total_size
+        rows[info.name] = (llvm_size, x86_size, sparc_size)
+    return rows
+
+
+def test_figure5_executable_sizes(suite, benchmark):
+    rows = benchmark.pedantic(_run_figure, args=(suite,), rounds=1, iterations=1)
+
+    header = (f"{'Benchmark':<12} {'LLVM':>8} {'X86':>8} {'SPARC':>8} "
+              f"{'LLVM/X86':>9} {'LLVM/SPARC':>11}")
+    report()
+    report("Figure 5: Executable sizes (bytes)")
+    report(header)
+    report("-" * len(header))
+    ratio_x86_total = 0.0
+    ratio_sparc_total = 0.0
+    for info in BENCHMARKS:
+        llvm_size, x86_size, sparc_size = rows[info.name]
+        ratio_x86 = llvm_size / x86_size
+        ratio_sparc = llvm_size / sparc_size
+        ratio_x86_total += ratio_x86
+        ratio_sparc_total += ratio_sparc
+        report(f"{info.spec_name:<12} {llvm_size:>8} {x86_size:>8} "
+              f"{sparc_size:>8} {ratio_x86:>9.2f} {ratio_sparc:>11.2f}")
+    count = len(BENCHMARKS)
+    mean_x86 = ratio_x86_total / count
+    mean_sparc = ratio_sparc_total / count
+    report("-" * len(header))
+    report(f"{'average':<12} {'':>8} {'':>8} {'':>8} "
+          f"{mean_x86:>9.2f} {mean_sparc:>11.2f}")
+
+    # Shape assertions: comparable to x86, smaller than sparc.
+    assert 0.6 <= mean_x86 <= 1.4, "LLVM should be about the size of x86"
+    assert mean_sparc < mean_x86, "SPARC should be the largest encoding"
+    assert mean_sparc <= 0.95, "LLVM should be clearly smaller than SPARC"
+
+
+def test_figure5_compression_margin(suite, benchmark):
+    """E4 — section 4.1.3: general-purpose compression reduces bytecode
+    files to about 50% of their size."""
+    def measure():
+        total_raw = 0
+        total_packed = 0
+        for info in BENCHMARKS:
+            data = write_bytecode(suite[info.name])
+            total_raw += len(data)
+            total_packed += len(bz2.compress(data))
+        return total_raw, total_packed
+
+    total_raw, total_packed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = total_packed / total_raw
+    report(f"\nbytecode: {total_raw} bytes raw, {total_packed} compressed "
+          f"({ratio:.0%})")
+    assert ratio <= 0.75, "compression should reveal substantial redundancy"

@@ -1,0 +1,66 @@
+"""Experiment E1 — paper Table 1: "Loads and Stores which are provably
+typed".
+
+Runs Data Structure Analysis over every suite program and reports the
+fraction of static loads/stores whose target object's type is reliably
+known, next to the paper's number for the corresponding SPEC benchmark.
+
+The claim being reproduced is the *shape*: disciplined programs score
+near-perfect, custom-allocator programs score lowest, the rest sit in
+between, and the suite average lands near the paper's 68%.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dsa import DataStructureAnalysis
+from repro.benchsuite import BENCHMARKS
+
+from conftest import report
+
+#: Grouping used for the shape assertions.
+DISCIPLINED = {"art", "mcf"}
+LOW_TIER = {"parser", "perlbmk", "gcc", "vortex", "gap"}
+
+
+def _run_table(suite) -> dict[str, tuple[int, int, float]]:
+    rows = {}
+    for info in BENCHMARKS:
+        report = DataStructureAnalysis(suite[info.name]).report()
+        rows[info.name] = (report.typed, report.untyped, report.typed_percent)
+    return rows
+
+
+def test_table1_typed_accesses(suite, benchmark):
+    rows = benchmark.pedantic(_run_table, args=(suite,), rounds=1, iterations=1)
+
+    header = (f"{'Benchmark':<12} {'Typed':>7} {'Untyped':>8} "
+              f"{'Typed %':>8} {'Paper %':>8}")
+    report()
+    report("Table 1: Loads and Stores which are provably typed")
+    report(header)
+    report("-" * len(header))
+    total_percent = 0.0
+    for info in BENCHMARKS:
+        typed, untyped, percent = rows[info.name]
+        total_percent += percent
+        report(f"{info.spec_name:<12} {typed:>7} {untyped:>8} "
+              f"{percent:>7.1f}% {info.paper_typed_percent:>7.1f}%")
+    average = total_percent / len(BENCHMARKS)
+    report("-" * len(header))
+    report(f"{'average':<12} {'':>7} {'':>8} {average:>7.1f}% {68.04:>7.1f}%")
+
+    # Shape assertions.
+    for name in DISCIPLINED:
+        assert rows[name][2] >= 90.0, f"{name} should be near-perfectly typed"
+    low = [rows[name][2] for name in LOW_TIER]
+    high = [rows[name][2] for name in DISCIPLINED]
+    assert max(low) < min(high), "allocator/punning programs must score lowest"
+    assert 55.0 <= average <= 85.0, "suite average should sit near the paper's 68%"
+
+
+def test_table1_disciplined_near_perfect(suite):
+    """Paper: "Benchmarks written in a more disciplined style ... had
+    nearly perfect results, scoring close to 100% in most cases"."""
+    for name in DISCIPLINED:
+        report = DataStructureAnalysis(suite[name]).report()
+        assert report.typed_percent >= 95.0

@@ -1,0 +1,133 @@
+"""The whole-program pipeline of paper Figure 4: two translation units
+are compiled by the LC front-end, linked, interprocedurally optimized,
+analysed by DSA, and emitted as bytecode plus native images for both
+targets.
+
+Run:  python examples/compiler_pipeline.py
+"""
+
+from repro.analysis.dsa import DataStructureAnalysis
+from repro.backend import SPARC, X86, compile_for_size, print_machine_function
+from repro.bitcode import write_bytecode
+from repro.driver import link_time_optimize, optimize_module
+from repro.execution import Interpreter
+from repro.frontend import compile_source
+from repro.linker import link_modules
+
+#: Translation unit 1: a tiny intrusive-list library.
+LIBRARY = r"""
+struct Item { int key; int payload; struct Item *next; };
+typedef struct Item Item;
+
+Item *list_push(Item *head, int key, int payload) {
+  Item *item = malloc(Item);
+  item->key = key;
+  item->payload = payload;
+  item->next = head;
+  return item;
+}
+
+Item *list_find(Item *head, int key) {
+  while (head != null) {
+    if (head->key == key) { return head; }
+    head = head->next;
+  }
+  return null;
+}
+
+int list_sum(Item *head) {
+  int total = 0;
+  while (head != null) {
+    total += head->payload;
+    head = head->next;
+  }
+  return total;
+}
+
+// Dead code for the link-time optimizer to find:
+static int never_called(int x) { return x * 31337; }
+int list_length_unused(Item *head) {
+  int n = 0;
+  while (head != null) { n = n + 1; head = head->next; }
+  return n;
+}
+"""
+
+#: Translation unit 2: the application.
+APPLICATION = r"""
+struct Item { int key; int payload; struct Item *next; };
+typedef struct Item Item;
+extern Item *list_push(Item *head, int key, int payload);
+extern Item *list_find(Item *head, int key);
+extern int list_sum(Item *head);
+extern int print_int(int x);
+
+int main() {
+  Item *head = null;
+  int i;
+  for (i = 0; i < 50; i++) {
+    head = list_push(head, i, i * i);
+  }
+  Item *hit = list_find(head, 25);
+  int sum = list_sum(head);
+  print_int(hit->payload);
+  print_int(sum);
+  return sum % 251;
+}
+"""
+
+
+def main() -> None:
+    print("=== front-end: compiling two translation units ===")
+    modules = []
+    for index, source in enumerate((LIBRARY, APPLICATION)):
+        module = compile_source(source, f"tu{index}")
+        optimize_module(module, level=2)
+        modules.append(module)
+        print(f"tu{index}: {module.instruction_count()} instructions, "
+              f"{len(module.functions)} functions")
+
+    print()
+    print("=== linking + link-time interprocedural optimization ===")
+    linked = link_modules(modules, "pipeline")
+    before = linked.instruction_count()
+    before_functions = len(linked.functions)
+    link_time_optimize(linked, level=2)
+    print(f"instructions: {before} -> {linked.instruction_count()}")
+    print(f"functions: {before_functions} -> {len(linked.functions)} "
+          "(dead library code eliminated, hot paths inlined)")
+
+    print()
+    print("=== Data Structure Analysis (typed memory accesses) ===")
+    report = DataStructureAnalysis(linked).report()
+    print(f"{report.typed}/{report.total} static accesses provably typed "
+          f"({report.typed_percent:.1f}%)")
+
+    print()
+    print("=== the three artifacts ===")
+    bytecode = write_bytecode(linked)
+    x86 = compile_for_size(linked, X86)
+    sparc = compile_for_size(linked, SPARC)
+    print(f"LLVM bytecode: {len(bytecode)} bytes")
+    print(f"x86 image:     {x86.total_size} bytes "
+          f"({x86.code_size} code, {len(x86.data)} data)")
+    print(f"sparc image:   {sparc.total_size} bytes "
+          f"({sparc.code_size} code, {len(sparc.data)} data)")
+
+    print()
+    print("=== machine code for main (x86-like, first 25 lines) ===")
+    for line in print_machine_function(
+        x86.functions[0].machine_fn
+    ).splitlines()[:25]:
+        print(line)
+
+    print()
+    print("=== executing the optimized program ===")
+    interpreter = Interpreter(linked)
+    code = interpreter.run("main")
+    print("output:", "".join(interpreter.output).split())
+    print("exit code:", code)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""Exception handling end-to-end (paper section 2.4, Figures 1-3).
+
+Shows the same mechanism at two levels:
+
+1. the LC surface syntax — ``try``/``catch``/``throw`` lowered to
+   ``invoke``/``unwind`` by the front-end, optimized, and executed;
+2. the C++-style lowering of Figures 2 and 3 — runtime-allocated
+   exception objects, cleanup (destructor) code run during unwinding,
+   typeid dispatch — built directly with the ``cxxfe`` helpers.
+
+Run:  python examples/exceptions.py
+"""
+
+from repro.core import (
+    ConstantInt, IRBuilder, Module, print_module, types, verify_module,
+)
+from repro.cxxfe import build_throw, build_try_catch
+from repro.cxxfe.exceptions import current_exception
+from repro.driver import compile_and_link
+from repro.execution import Interpreter
+from repro.frontend import compile_source
+
+LC_PROGRAM = r"""
+extern int print_str(char *s);
+extern int print_int(int x);
+
+static int parse_digit(char c) {
+  if (c < '0' || c > '9') { throw; }   // unwinds to the caller's catch
+  return (int)c - (int)'0';
+}
+
+static int parse_number(char *text) {
+  int value = 0;
+  while (*text != (char)0) {
+    value = value * 10 + parse_digit(*text);
+    text = text + 1;
+  }
+  return value;
+}
+
+int main() {
+  int good = 0;
+  int bad = 0;
+  try {
+    good = parse_number("2026");
+  } catch {
+    good = 0 - 1;
+  }
+  try {
+    bad = parse_number("12x4");
+  } catch {
+    bad = 0 - 1;
+  }
+  print_int(good);
+  print_int(bad);
+  return good + bad;
+}
+"""
+
+
+def lc_level() -> None:
+    print("=== LC try/catch/throw, unoptimized vs optimized ===")
+    unopt = compile_source(LC_PROGRAM, "parse")
+    raw = Interpreter(unopt)
+    print("unoptimized:", raw.run("main"), "output:",
+          "".join(raw.output).split(), f"({raw.steps} steps)")
+    opt = compile_and_link([LC_PROGRAM], "parse")
+    cooked = Interpreter(opt)
+    print("optimized:  ", cooked.run("main"), "output:",
+          "".join(cooked.output).split(), f"({cooked.steps} steps)")
+
+
+def figure_2_and_3() -> None:
+    print()
+    print("=== the C++ lowering of Figures 2 and 3 ===")
+    module = Module("cxx_eh")
+
+    # func() from Figure 1: might throw.  Here: throws iff x is odd.
+    func = module.new_function(types.function(types.VOID, [types.INT]),
+                               "func", arg_names=["x"])
+    builder = IRBuilder(func.append_block("entry"))
+    ok = func.append_block("even")
+    bad = func.append_block("odd")
+    parity = builder.rem(func.args[0], ConstantInt(types.INT, 2), "p")
+    builder.cond_br(builder.seteq(parity, ConstantInt(types.INT, 0), "even"),
+                    ok, bad)
+    IRBuilder(ok).ret_void()
+    # Figure 3: allocate the exception object through the runtime,
+    # construct the value, register it, unwind.
+    build_throw(module, IRBuilder(bad), func.args[0], typeid=4)
+
+    destructor_runs = module.new_global(types.INT, "destructor_runs",
+                                        ConstantInt(types.INT, 0))
+
+    caller = module.new_function(types.function(types.INT, [types.INT]),
+                                 "call_with_cleanup", arg_names=["x"])
+    builder = IRBuilder(caller.append_block("entry"))
+    caught = caller.append_block("caught")
+
+    def run_destructor(handler: IRBuilder) -> None:
+        # Figure 2: "If unwind occurs, execution continues here.
+        # First, destroy the object" — then we stop the unwind at the
+        # catch instead of continuing it.
+        count = handler.load(destructor_runs, "d")
+        handler.store(handler.add(count, ConstantInt(types.INT, 1), "d1"),
+                      destructor_runs)
+
+    _, normal = build_try_catch(
+        module, builder, func, [caller.args[0]],
+        handler_body=lambda handler: handler.br(caught),
+        cleanup=run_destructor,
+    )
+    normal.ret(ConstantInt(types.INT, 0))
+    catcher = IRBuilder(caught)
+    _, typeid = current_exception(module, catcher)
+    catcher.ret(typeid)
+
+    verify_module(module)
+    print(print_module(module))
+
+    interpreter = Interpreter(module)
+    print("call_with_cleanup(8)  ->", interpreter.run("call_with_cleanup", [8]))
+    print("call_with_cleanup(13) ->", interpreter.run("call_with_cleanup", [13]),
+          "(the typeid; destructor ran during unwinding)")
+
+
+def _run_all() -> None:
+    lc_level()
+    figure_2_and_3()
+
+
+def setjmp_longjmp() -> None:
+    """The same unwinding mechanism implementing C's setjmp/longjmp."""
+    from repro.core import Module
+    from repro.cxxfe import SetjmpRegion, emit_longjmp
+
+    print()
+    print("=== setjmp/longjmp on the same mechanism ===")
+    module = Module("sjlj")
+    deep = module.new_function(types.function(types.VOID, [types.INT]),
+                               "deep", arg_names=["n"])
+    builder = IRBuilder(deep.append_block("entry"))
+    stop = deep.append_block("stop")
+    go = deep.append_block("go")
+    builder.cond_br(builder.setle(deep.args[0], ConstantInt(types.INT, 0),
+                                  "done"), stop, go)
+    emit_longjmp(module, IRBuilder(stop), ConstantInt(types.INT, 1),
+                 ConstantInt(types.INT, 123))
+    go_builder = IRBuilder(go)
+    go_builder.call(deep, [go_builder.sub(deep.args[0],
+                                          ConstantInt(types.INT, 1), "m")])
+    go_builder.ret_void()
+
+    main = module.new_function(types.function(types.INT, []), "sjlj_main")
+    builder = IRBuilder(main.append_block("entry"))
+    region = SetjmpRegion.open(module, builder, ConstantInt(types.INT, 1))
+    region.call(deep, [ConstantInt(types.INT, 6)])
+    after = region.close()
+    after.ret(region.result(after))
+    verify_module(module)
+    result = Interpreter(module).run("sjlj_main")
+    print("setjmp returned 0 on entry; after a longjmp six frames down it")
+    print("returned the longjmp value:", result)
+
+
+if __name__ == "__main__":
+    _run_all()
+    setjmp_longjmp()

@@ -1,0 +1,92 @@
+"""Quickstart: build IR with the builder API, optimize it, run it, and
+round-trip it through all three equivalent representations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bitcode import read_bytecode, write_bytecode
+from repro.core import (
+    ConstantInt, IRBuilder, Module, parse_module, print_module, types,
+    verify_module,
+)
+from repro.driver import optimize_module
+from repro.execution import Interpreter
+
+
+def build_module() -> Module:
+    """A module computing gcd(a, b) and a main() that calls it."""
+    module = Module("quickstart")
+
+    gcd = module.new_function(
+        types.function(types.INT, [types.INT, types.INT]), "gcd",
+        arg_names=["a", "b"],
+    )
+    entry = gcd.append_block("entry")
+    loop = gcd.append_block("loop")
+    body = gcd.append_block("body")
+    done = gcd.append_block("done")
+
+    builder = IRBuilder(entry)
+    builder.br(loop)
+
+    # The front-end way would be allocas + mem2reg; here we write the
+    # phis by hand to show the SSA form directly.
+    builder.position_at_end(loop)
+    a_phi = builder.phi(types.INT, "a.cur")
+    b_phi = builder.phi(types.INT, "b.cur")
+    a_phi.add_incoming(gcd.args[0], entry)
+    b_phi.add_incoming(gcd.args[1], entry)
+    zero = ConstantInt(types.INT, 0)
+    builder.cond_br(builder.setne(b_phi, zero, "nonzero"), body, done)
+
+    builder.position_at_end(body)
+    remainder = builder.rem(a_phi, b_phi, "r")
+    a_phi.add_incoming(b_phi, body)
+    b_phi.add_incoming(remainder, body)
+    builder.br(loop)
+
+    builder.position_at_end(done)
+    builder.ret(a_phi)
+
+    main = module.new_function(types.function(types.INT, []), "main")
+    builder = IRBuilder(main.append_block("entry"))
+    result = builder.call(gcd, [ConstantInt(types.INT, 1071),
+                                ConstantInt(types.INT, 462)], "g")
+    builder.ret(result)
+
+    verify_module(module)
+    return module
+
+
+def main() -> None:
+    module = build_module()
+
+    print("=== textual representation ===")
+    text = print_module(module)
+    print(text)
+
+    print("=== executing (interpreter / Execution Engine) ===")
+    interpreter = Interpreter(module)
+    print("gcd(1071, 462) =", interpreter.run("main"), f"({interpreter.steps} steps)")
+
+    print()
+    print("=== round trips ===")
+    reparsed = parse_module(text)
+    assert print_module(reparsed) == text
+    print("text -> IR -> text: identical")
+
+    bytecode = write_bytecode(module, strip_names=False)
+    decoded = read_bytecode(bytecode)
+    assert print_module(decoded) == text
+    print(f"IR -> {len(bytecode)}-byte bytecode -> IR: identical")
+
+    print()
+    print("=== optimizing at -O2 ===")
+    optimize_module(module, level=2)
+    print(print_module(module))
+    rerun = Interpreter(module)
+    print("gcd(1071, 462) =", rerun.run("main"), f"({rerun.steps} steps)")
+
+
+if __name__ == "__main__":
+    main()

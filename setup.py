@@ -1,0 +1,30 @@
+"""Setup shim for environments without PEP 660 editable-install support
+(pip needs the ``wheel`` package for pyproject-based editable installs;
+this file lets ``pip install -e .`` / ``setup.py develop`` work without it).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "A Python reproduction of LLVM (CGO 2004): a typed SSA compiler "
+        "framework for lifelong program analysis and transformation"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.benchsuite": ["programs/*.lc"]},
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "lc-cc=repro.tools:lc_cc",
+            "lc-as=repro.tools:lc_as",
+            "lc-dis=repro.tools:lc_dis",
+            "lc-opt=repro.tools:lc_opt",
+            "lc-link=repro.tools:lc_link",
+            "lc-run=repro.tools:lc_run",
+            "lc-llc=repro.tools:lc_llc",
+        ]
+    },
+)

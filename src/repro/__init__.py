@@ -1,0 +1,24 @@
+"""repro — a Python reproduction of LLVM (Lattner & Adve, CGO 2004).
+
+A compilation framework for lifelong program analysis and transformation:
+a typed, SSA-based virtual instruction set with textual, binary, and
+in-memory representations; link-time interprocedural optimization; an
+execution engine; native code generators; and runtime profiling with
+offline reoptimization.
+
+Quick start::
+
+    from repro import core
+    from repro.core import IRBuilder, Module, types
+
+    module = Module("demo")
+    fn = module.new_function(types.function(types.INT, [types.INT]), "double")
+    builder = IRBuilder(fn.append_block("entry"))
+    builder.ret(builder.add(fn.args[0], fn.args[0]))
+    print(core.print_module(module))
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+__all__ = ["core", "__version__"]

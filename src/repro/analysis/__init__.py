@@ -1,0 +1,18 @@
+"""Program analyses: CFG, dominators, loops, call graph, alias analysis,
+Mod/Ref, and Data Structure Analysis (DSA)."""
+
+from .alias import AliasResult, alias
+from .callgraph import CallGraph, CallGraphNode
+from .dominators import DominanceFrontiers, DominatorTree
+from .dsa import DataStructureAnalysis, DSNode, TypedAccessReport
+from .loops import Loop, LoopInfo
+from .modref import ModRefAnalysis, ModRefInfo
+from .summaries import FunctionSummary, ModuleSummaries, summarize_function
+
+__all__ = [
+    "AliasResult", "alias", "CallGraph", "CallGraphNode",
+    "DominanceFrontiers", "DominatorTree", "DataStructureAnalysis",
+    "DSNode", "TypedAccessReport", "Loop", "LoopInfo", "ModRefAnalysis",
+    "ModRefInfo", "FunctionSummary", "ModuleSummaries",
+    "summarize_function",
+]

@@ -1,0 +1,108 @@
+"""Basic alias analysis: cheap, local, IR-structural rules.
+
+The fast path used by scalar transforms when a full DSA solve is not
+warranted.  Pointers are resolved to (base object, byte offset) by
+walking pointer casts and constant-index GEPs; two accesses with the
+same base and disjoint constant ranges cannot alias, distinct
+identified objects (allocations, globals) never alias, and null
+aliases nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..core.datalayout import DataLayout, DEFAULT
+from ..core.instructions import (
+    AllocationInst, CastInst, GetElementPtrInst,
+)
+from ..core.module import GlobalVariable
+from ..core.values import ConstantInt, ConstantPointerNull, Value
+
+
+class AliasResult(enum.Enum):
+    NO_ALIAS = "no"
+    MAY_ALIAS = "may"
+    MUST_ALIAS = "must"
+
+
+def resolve_base(pointer: Value,
+                 layout: DataLayout = DEFAULT) -> tuple[Value, Optional[int]]:
+    """Strip pointer casts and GEPs down to (base, byte offset).
+
+    The offset is None when any step uses a variable index.
+    """
+    offset: Optional[int] = 0
+    depth = 0
+    while depth < 64:
+        depth += 1
+        if isinstance(pointer, CastInst) and pointer.value.type.is_pointer:
+            pointer = pointer.value
+            continue
+        if isinstance(pointer, GetElementPtrInst):
+            if offset is not None:
+                step = _gep_byte_offset(pointer, layout)
+                offset = None if step is None else offset + step
+            pointer = pointer.pointer
+            continue
+        return pointer, offset
+    return pointer, None
+
+
+def _gep_byte_offset(gep: GetElementPtrInst,
+                     layout: DataLayout) -> Optional[int]:
+    total = 0
+    current = gep.pointer.type.pointee
+    for position, index in enumerate(gep.indices):
+        if not isinstance(index, ConstantInt):
+            return None
+        if position == 0:
+            total += index.value * layout.size_of(current)
+        elif current.is_struct:
+            total += layout.field_offset(current, index.value)
+            current = current.fields[index.value]
+        else:
+            total += index.value * layout.size_of(current.element)
+            current = current.element
+    return total
+
+
+def _is_identified_object(value: Value) -> bool:
+    """An object whose address is unique: allocation or global."""
+    return isinstance(value, (AllocationInst, GlobalVariable))
+
+
+def _access_size(pointer: Value, layout: DataLayout) -> int:
+    pointee = pointer.type.pointee
+    if pointee.is_first_class:
+        return layout.size_of(pointee)
+    return 1  # aggregates: byte-level conservatism on range checks
+
+
+def alias(a: Value, b: Value, layout: DataLayout = DEFAULT) -> AliasResult:
+    """May the two pointers address overlapping memory?"""
+    if a is b:
+        return AliasResult.MUST_ALIAS
+    if isinstance(a, ConstantPointerNull) or isinstance(b, ConstantPointerNull):
+        return AliasResult.NO_ALIAS
+    base_a, offset_a = resolve_base(a, layout)
+    base_b, offset_b = resolve_base(b, layout)
+    if base_a is base_b:
+        if offset_a is None or offset_b is None:
+            return AliasResult.MAY_ALIAS
+        if offset_a == offset_b:
+            size_a = _access_size(a, layout)
+            size_b = _access_size(b, layout)
+            return (AliasResult.MUST_ALIAS if size_a == size_b
+                    else AliasResult.MAY_ALIAS)
+        size_a = _access_size(a, layout)
+        size_b = _access_size(b, layout)
+        if offset_a + size_a <= offset_b or offset_b + size_b <= offset_a:
+            return AliasResult.NO_ALIAS
+        return AliasResult.MAY_ALIAS
+    # Two different identified objects cannot overlap; and nothing
+    # escapes into a *fresh* allocation's address before it exists.
+    if _is_identified_object(base_a) and _is_identified_object(base_b):
+        return AliasResult.NO_ALIAS
+    return AliasResult.MAY_ALIAS

@@ -1,0 +1,209 @@
+"""Interprocedural summaries (paper section 3.3).
+
+"At compile-time, interprocedural summaries can be computed for each
+function in the program and attached to the bytecode.  The link-time
+interprocedural optimizer can then process these interprocedural
+summaries as input instead of having to compute results from scratch.
+This technique can dramatically speed up incremental compilation when a
+small number of translation units are modified."
+
+A :class:`FunctionSummary` records the per-function facts the link-time
+passes need (call edges, global reads/writes, local unwind behaviour,
+size, purity) without the body; :class:`ModuleSummaries` computes,
+serializes, and re-derives whole-program facts from them.  The test
+suite checks that summary-driven answers match body-scan answers, which
+is the contract that makes the incremental path sound.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..core.instructions import (
+    CallInst, InvokeInst, LoadInst, Opcode, StoreInst, UnwindInst,
+)
+from ..core.module import Function, GlobalVariable, Module
+from .alias import resolve_base
+
+
+class FunctionSummary:
+    """Link-time-relevant facts about one function, body not required."""
+
+    __slots__ = ("name", "size", "direct_callees", "invoked_callees",
+                 "has_indirect_calls", "reads_globals", "writes_globals",
+                 "unwinds_locally", "is_declaration", "is_internal")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.size = 0
+        #: Callees reached by plain ``call`` (their unwinds propagate).
+        self.direct_callees: list[str] = []
+        #: Callees reached by ``invoke`` (their unwinds are caught here).
+        self.invoked_callees: list[str] = []
+        self.has_indirect_calls = False
+        self.reads_globals: list[str] = []
+        self.writes_globals: list[str] = []
+        self.unwinds_locally = False
+        self.is_declaration = False
+        self.is_internal = False
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "size": self.size,
+            "calls": self.direct_callees,
+            "invokes": self.invoked_callees,
+            "indirect": self.has_indirect_calls,
+            "reads": self.reads_globals,
+            "writes": self.writes_globals,
+            "unwinds": self.unwinds_locally,
+            "declaration": self.is_declaration,
+            "internal": self.is_internal,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunctionSummary":
+        summary = cls(payload["name"])
+        summary.size = payload["size"]
+        summary.direct_callees = list(payload["calls"])
+        summary.invoked_callees = list(payload["invokes"])
+        summary.has_indirect_calls = payload["indirect"]
+        summary.reads_globals = list(payload["reads"])
+        summary.writes_globals = list(payload["writes"])
+        summary.unwinds_locally = payload["unwinds"]
+        summary.is_declaration = payload["declaration"]
+        summary.is_internal = payload["internal"]
+        return summary
+
+
+def summarize_function(function: Function) -> FunctionSummary:
+    """Compute one function's summary from its body."""
+    summary = FunctionSummary(function.name)
+    summary.is_declaration = function.is_declaration
+    summary.is_internal = function.is_internal
+    if function.is_declaration:
+        return summary
+    summary.size = function.instruction_count()
+    callees: dict[str, None] = {}
+    invoked: dict[str, None] = {}
+    reads: dict[str, None] = {}
+    writes: dict[str, None] = {}
+    for inst in function.instructions():
+        if isinstance(inst, UnwindInst):
+            summary.unwinds_locally = True
+        elif isinstance(inst, (CallInst, InvokeInst)):
+            callee = inst.operands[0]
+            if isinstance(callee, Function):
+                if isinstance(inst, CallInst):
+                    callees.setdefault(callee.name)
+                else:
+                    invoked.setdefault(callee.name)
+            elif isinstance(inst, CallInst):
+                # An indirect *invoke* catches its callee's unwind; an
+                # indirect call propagates who-knows-what.
+                summary.has_indirect_calls = True
+        elif isinstance(inst, LoadInst):
+            base, _ = resolve_base(inst.pointer)
+            if isinstance(base, GlobalVariable):
+                reads.setdefault(base.name)
+        elif isinstance(inst, StoreInst):
+            base, _ = resolve_base(inst.pointer)
+            if isinstance(base, GlobalVariable):
+                writes.setdefault(base.name)
+    summary.direct_callees = list(callees)
+    summary.invoked_callees = list(invoked)
+    summary.reads_globals = list(reads)
+    summary.writes_globals = list(writes)
+    return summary
+
+
+class ModuleSummaries:
+    """All function summaries of a module, plus derived whole-program
+    queries (the facts the link-time passes otherwise rescan for)."""
+
+    def __init__(self, summaries: dict[str, FunctionSummary]):
+        self.summaries = summaries
+
+    @classmethod
+    def compute(cls, module: Module) -> "ModuleSummaries":
+        return cls({
+            function.name: summarize_function(function)
+            for function in module.functions.values()
+        })
+
+    # -- serialization (the "attached to the bytecode" sidecar) ---------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"functions": [s.to_dict() for s in self.summaries.values()]},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModuleSummaries":
+        payload = json.loads(text)
+        summaries = {
+            entry["name"]: FunctionSummary.from_dict(entry)
+            for entry in payload["functions"]
+        }
+        return cls(summaries)
+
+    # -- derived whole-program facts -------------------------------------------
+
+    def may_unwind(self, known_no_unwind: frozenset = frozenset()) -> dict[str, bool]:
+        """Per-function may-unwind, from summaries alone (the input
+        prune-eh needs).  Matches a direct body scan."""
+        result: dict[str, bool] = {}
+        for name, summary in self.summaries.items():
+            if summary.is_declaration:
+                result[name] = name not in known_no_unwind
+            else:
+                result[name] = summary.unwinds_locally
+        changed = True
+        while changed:
+            changed = False
+            for name, summary in self.summaries.items():
+                if summary.is_declaration or result[name]:
+                    continue
+                if summary.has_indirect_calls:
+                    escalate = True
+                else:
+                    escalate = any(
+                        result.get(callee, True)
+                        for callee in summary.direct_callees
+                    )
+                if escalate:
+                    result[name] = True
+                    changed = True
+        return result
+
+    def _all_callees(self, summary: FunctionSummary) -> list[str]:
+        return summary.direct_callees + summary.invoked_callees
+
+    def transitive_global_writes(self, name: str) -> Optional[set[str]]:
+        """Globals a call to ``name`` may write, or None for 'unknown'
+        (indirect calls / external callees in the closure)."""
+        seen: set[str] = set()
+        writes: set[str] = set()
+        worklist = [name]
+        while worklist:
+            current = worklist.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            summary = self.summaries.get(current)
+            if summary is None or summary.is_declaration or \
+                    summary.has_indirect_calls:
+                return None
+            writes.update(summary.writes_globals)
+            worklist.extend(self._all_callees(summary))
+        return writes
+
+    def call_graph_edges(self) -> dict[str, list[str]]:
+        return {
+            name: self._all_callees(summary)
+            for name, summary in self.summaries.items()
+        }

@@ -1,0 +1,19 @@
+"""Native code generation: isel, register allocation, and the x86-like /
+sparc-like encoders used by the Figure 5 size comparison."""
+
+from .codegen import (
+    CodeGenerator, CompiledFunction, ExecutableImage, compile_for_size,
+    print_machine_function,
+)
+from .isel import InstructionSelector
+from .machine import MachineBlock, MachineFunction, MachineInstr, MOp
+from .regalloc import LinearScanAllocator
+from .targets import SPARC, SparcLikeTarget, Target, X86, X86LikeTarget
+
+__all__ = [
+    "CodeGenerator", "CompiledFunction", "ExecutableImage",
+    "compile_for_size", "print_machine_function", "InstructionSelector",
+    "MachineBlock", "MachineFunction", "MachineInstr", "MOp",
+    "LinearScanAllocator", "SPARC", "SparcLikeTarget", "Target", "X86",
+    "X86LikeTarget",
+]

@@ -1,0 +1,131 @@
+"""Machine IR: the target-independent form between isel and encoding.
+
+Machine functions hold machine basic blocks of :class:`MachineInstr`.
+Registers are virtual (non-negative integers) until register allocation
+rewrites them to physical registers (encoded as negative numbers
+``-(phys + 1)`` so the two spaces cannot collide).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class MOp(enum.Enum):
+    """Generic machine opcodes shared by both targets."""
+
+    MOV = "mov"        # dst, src
+    LI = "li"          # dst, imm (integer immediate)
+    LF = "lf"          # dst, fpimm (floating immediate; materialised via pool)
+    LA = "la"          # dst, symbol (address of global/function)
+    ALU = "alu"        # sub=op, dst, a, b
+    ALUI = "alui"      # sub=op, dst, a, imm
+    LOAD = "load"      # dst, [base + off], size
+    STORE = "store"    # src, [base + off], size
+    LOADG = "loadg"    # dst, [symbol + off], size (global direct)
+    STOREG = "storeg"  # src, [symbol + off], size
+    LOADX = "loadx"    # dst, [base + index*scale + off], size (sub=scale)
+    STOREX = "storex"  # src, [base + index*scale + off], size
+    SETCC = "setcc"    # sub=cc, dst, a, b
+    CMPBR = "cmpbr"    # sub=cc, a, b, block
+    JMP = "jmp"        # block
+    ARG = "arg"        # outgoing argument: src, index
+    GETARG = "getarg"  # dst, index (incoming argument)
+    CALL = "call"      # symbol, nargs
+    CALLR = "callr"    # reg, nargs (indirect)
+    GETRET = "getret"  # dst
+    SETRET = "setret"  # src
+    RET = "ret"
+    UNWIND = "unwind"  # lowered to a runtime call by encoding
+
+
+class MachineInstr:
+    __slots__ = ("op", "sub", "dst", "srcs", "imm", "symbol", "block",
+                 "size", "mem_src")
+
+    def __init__(self, op: MOp, sub: Optional[str] = None,
+                 dst: Optional[int] = None, srcs: tuple = (),
+                 imm=None, symbol: Optional[str] = None,
+                 block: Optional["MachineBlock"] = None, size: int = 8):
+        self.op = op
+        self.sub = sub
+        self.dst = dst
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.symbol = symbol
+        self.block = block
+        self.size = size  # access size for load/store
+        #: CISC memory-operand folding: (source index, frame disp) of a
+        #: spilled operand read directly from memory (no reload instr).
+        self.mem_src: Optional[tuple[int, int]] = None
+
+    def registers(self) -> list[int]:
+        regs = list(self.srcs)
+        if self.dst is not None:
+            regs.append(self.dst)
+        return regs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.value]
+        if self.sub:
+            parts.append(self.sub)
+        if self.dst is not None:
+            parts.append(f"d{self.dst}")
+        parts.extend(f"s{s}" for s in self.srcs)
+        if self.imm is not None:
+            parts.append(f"#{self.imm}")
+        if self.symbol:
+            parts.append(self.symbol)
+        if self.block is not None:
+            parts.append(f"->{self.block.name}")
+        return f"<{' '.join(map(str, parts))}>"
+
+
+class MachineBlock:
+    def __init__(self, name: str):
+        self.name = name
+        self.instructions: list[MachineInstr] = []
+
+    def append(self, instr: MachineInstr) -> MachineInstr:
+        self.instructions.append(instr)
+        return instr
+
+
+class MachineFunction:
+    def __init__(self, name: str):
+        self.name = name
+        self.blocks: list[MachineBlock] = []
+        self.next_vreg = 0
+        #: Stack frame size in bytes (allocas + spills), set by regalloc.
+        self.frame_size = 0
+
+    def new_vreg(self) -> int:
+        reg = self.next_vreg
+        self.next_vreg += 1
+        return reg
+
+    def new_block(self, name: str) -> MachineBlock:
+        block = MachineBlock(name)
+        self.blocks.append(block)
+        return block
+
+    def instructions(self):
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks)
+
+
+def phys(reg_number: int) -> int:
+    """Encode a physical register number."""
+    return -(reg_number + 1)
+
+
+def is_phys(reg: int) -> bool:
+    return reg < 0
+
+
+def phys_number(reg: int) -> int:
+    return -reg - 1

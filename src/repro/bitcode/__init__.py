@@ -1,0 +1,10 @@
+"""The binary bytecode representation (paper sections 2.5 and 4.1.3).
+
+One of the three equivalent program representations: a compact linear
+encoding in which most instructions take a single 32-bit word.
+"""
+
+from .reader import BytecodeError, read_bytecode
+from .writer import BytecodeWriter, write_bytecode
+
+__all__ = ["BytecodeError", "read_bytecode", "BytecodeWriter", "write_bytecode"]

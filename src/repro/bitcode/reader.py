@@ -1,0 +1,429 @@
+"""Bytecode reader: decodes the binary representation back to IR.
+
+Decoding per function body is two-pass: pass 1 creates a typed
+placeholder for every instruction result (the packed type field carries
+the result type, so forward references across the linear block layout
+resolve cleanly); pass 2 materialises real instructions, resolving each
+operand to the already-built instruction or to the placeholder, and
+finally replaces every placeholder with its real value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import types
+from ..core.basicblock import BasicBlock
+from ..core.instructions import (
+    AllocaInst, BinaryOperator, BranchInst, CallInst, CastInst, FreeInst,
+    GetElementPtrInst, InvokeInst, LoadInst, MallocInst, Opcode, PhiNode,
+    ReturnInst, ShiftInst, StoreInst, SwitchInst, UnwindInst, VAArgInst,
+    BINARY_OPCODES,
+)
+from ..core.module import Function, GlobalVariable, Linkage, Module
+from ..core.values import (
+    Constant, ConstantAggregateZero, ConstantArray, ConstantBool,
+    ConstantExpr, ConstantFP, ConstantInt, ConstantPointerNull,
+    ConstantString, ConstantStruct, UndefValue, Value,
+)
+from .stream import Reader
+from .writer import (
+    MAGIC, VERSION, _CONST_ARRAY, _CONST_BOOL, _CONST_EXPR_CAST,
+    _CONST_EXPR_GEP, _CONST_FP, _CONST_INT, _CONST_NULL, _CONST_STRING,
+    _CONST_STRUCT, _CONST_SYMBOL, _CONST_UNDEF, _CONST_ZERO,
+    _PRIMITIVE_ORDER, _TY_ARRAY, _TY_FUNCTION, _TY_NAMED, _TY_POINTER,
+    _TY_PRIMITIVE, _TY_STRUCT,
+)
+
+_OPCODES = list(Opcode)
+_LINKAGES = [Linkage.EXTERNAL, Linkage.INTERNAL, Linkage.APPENDING]
+
+
+class BytecodeError(Exception):
+    """Malformed bytecode input."""
+
+
+class _Placeholder(Value):
+    """Typed stand-in for a not-yet-decoded instruction result."""
+
+    __slots__ = ()
+
+
+def read_bytecode(data: bytes) -> Module:
+    """Deserialize bytecode produced by :func:`write_bytecode`."""
+    return _Decoder(data).decode()
+
+
+def read_bytecode_lazy(data: bytes) -> tuple[Module, "_Decoder"]:
+    """Deserialize headers only; function bodies decode on demand.
+
+    Returns the module (all functions present as declarations-with-
+    pending-bodies) and the decoder, whose :meth:`_Decoder.materialize`
+    decodes one function's body — the mechanism behind the paper's
+    function-at-a-time JIT (section 3.4).
+    """
+    decoder = _Decoder(data)
+    module = decoder.decode(lazy=True)
+    return module, decoder
+
+
+class _Decoder:
+    def __init__(self, data: bytes):
+        self.reader = Reader(data)
+        self.types: list[types.Type] = []
+        self.symbols: list = []
+        self.module: Optional[Module] = None
+        #: function name -> byte offset of its (not yet decoded) body.
+        self.pending_bodies: dict[str, int] = {}
+
+    def decode(self, lazy: bool = False) -> Module:
+        reader = self.reader
+        if reader.data[:4] != MAGIC:
+            raise BytecodeError("bad magic")
+        reader.position = 4
+        version = reader.u8()
+        if version != VERSION:
+            raise BytecodeError(f"unsupported bytecode version {version}")
+        self.module = Module(reader.string())
+        self._read_type_table()
+
+        global_count = reader.uleb()
+        has_initializer: list[bool] = []
+        for _ in range(global_count):
+            name = reader.string()
+            value_type = self.types[reader.uleb()]
+            flags = reader.u8()
+            global_var = self.module.new_global(
+                value_type, name, None, _LINKAGES[flags & 0x3F],
+                bool(flags & 0x80),
+            )
+            has_initializer.append(bool(flags & 0x40))
+            self.symbols.append(global_var)
+        function_count = reader.uleb()
+        functions: list[Function] = []
+        for _ in range(function_count):
+            name = reader.string()
+            fn_type = self.types[reader.uleb()]
+            flags = reader.u8()
+            function = self.module.new_function(fn_type, name,
+                                                _LINKAGES[flags & 0x3F])
+            function.is_pure = bool(flags & 0x80)
+            if flags & 0x40:
+                for arg in function.args:
+                    arg.name = reader.string()
+            functions.append(function)
+            self.symbols.append(function)
+        for global_var, with_init in zip(self.module.globals.values(),
+                                         has_initializer):
+            if with_init:
+                global_var.set_initializer(self._read_constant())
+        for function in functions:
+            body_length = reader.uleb()
+            if not body_length:
+                continue
+            if lazy:
+                self.pending_bodies[function.name] = reader.position
+                reader.position += body_length - 1
+            else:
+                self._read_body(function)
+        return self.module
+
+    def materialize(self, function: Function) -> bool:
+        """Decode one pending function body; False if already decoded
+        (or a true declaration)."""
+        offset = self.pending_bodies.pop(function.name, None)
+        if offset is None:
+            return False
+        saved = self.reader.position
+        self.reader.position = offset
+        try:
+            self._read_body(function)
+        finally:
+            self.reader.position = saved
+        return True
+
+    # -- type table ----------------------------------------------------------
+
+    def _read_type_table(self) -> None:
+        reader = self.reader
+        count = reader.uleb()
+        kinds: list[int] = []
+        for _ in range(count):
+            kind = reader.u8()
+            kinds.append(kind)
+            if kind == _TY_PRIMITIVE:
+                self.types.append(_PRIMITIVE_ORDER[reader.uleb()])
+            elif kind == _TY_NAMED:
+                name = reader.string()
+                named = self.module.named_types.get(name)
+                if named is None:
+                    named = types.named_struct(name)
+                    self.module.add_named_type(named)
+                self.types.append(named)
+            else:
+                self.types.append(None)  # type: ignore[arg-type]
+        # Payload pass.  Compound types may reference any index; named
+        # structs already exist, and anonymous compounds are resolved
+        # recursively on demand.
+        payloads: list[Optional[tuple]] = [None] * count
+        for index, kind in enumerate(kinds):
+            if kind == _TY_POINTER:
+                payloads[index] = ("ptr", reader.uleb())
+            elif kind == _TY_ARRAY:
+                element = reader.uleb()
+                length = reader.uleb()
+                payloads[index] = ("arr", element, length)
+            elif kind in (_TY_STRUCT, _TY_NAMED):
+                if kind == _TY_NAMED:
+                    opaque = reader.u8() == 0
+                    if opaque:
+                        payloads[index] = ("named", None)
+                        continue
+                    field_count = reader.uleb()
+                    payloads[index] = (
+                        "named", [reader.uleb() for _ in range(field_count)]
+                    )
+                else:
+                    marker = reader.u8()
+                    if marker != 1:
+                        raise BytecodeError("anonymous struct marked opaque")
+                    field_count = reader.uleb()
+                    payloads[index] = (
+                        "struct", [reader.uleb() for _ in range(field_count)]
+                    )
+            elif kind == _TY_FUNCTION:
+                return_index = reader.uleb()
+                param_count = reader.uleb()
+                params = [reader.uleb() for _ in range(param_count)]
+                vararg = reader.u8() == 1
+                payloads[index] = ("fn", return_index, params, vararg)
+
+        resolving: set[int] = set()
+
+        def resolve(index: int) -> types.Type:
+            if self.types[index] is not None:
+                return self.types[index]
+            if index in resolving:
+                raise BytecodeError("type table cycle through anonymous types")
+            resolving.add(index)
+            payload = payloads[index]
+            if payload[0] == "ptr":
+                result = types.pointer(resolve(payload[1]))
+            elif payload[0] == "arr":
+                result = types.array(resolve(payload[1]), payload[2])
+            elif payload[0] == "struct":
+                result = types.struct(resolve(f) for f in payload[1])
+            elif payload[0] == "fn":
+                result = types.function(
+                    resolve(payload[1]), [resolve(p) for p in payload[2]],
+                    payload[3],
+                )
+            else:  # pragma: no cover - named handled below
+                raise BytecodeError("unresolvable type entry")
+            resolving.discard(index)
+            self.types[index] = result
+            return result
+
+        for index in range(count):
+            if self.types[index] is None:
+                resolve(index)
+        # Named struct bodies last (they may reference anything).
+        for index, kind in enumerate(kinds):
+            if kind == _TY_NAMED:
+                payload = payloads[index]
+                struct_ty = self.types[index]
+                if payload[1] is not None and struct_ty.is_opaque:
+                    struct_ty.set_body([self.types[f] for f in payload[1]])
+
+    # -- constants --------------------------------------------------------------
+
+    def _read_constant(self) -> Constant:
+        reader = self.reader
+        tag = reader.u8()
+        if tag == _CONST_SYMBOL:
+            return self.symbols[reader.uleb()]
+        if tag == _CONST_INT:
+            ty = self.types[reader.uleb()]
+            return ConstantInt(ty, reader.sleb())  # type: ignore[arg-type]
+        if tag == _CONST_FP:
+            ty = self.types[reader.uleb()]
+            value = reader.f32() if ty.bits == 32 else reader.f64()  # type: ignore[attr-defined]
+            return ConstantFP(ty, value)  # type: ignore[arg-type]
+        if tag == _CONST_BOOL:
+            return ConstantBool(reader.u8() == 1)
+        if tag == _CONST_NULL:
+            return ConstantPointerNull(self.types[reader.uleb()])  # type: ignore[arg-type]
+        if tag == _CONST_UNDEF:
+            return UndefValue(self.types[reader.uleb()])
+        if tag == _CONST_ZERO:
+            return ConstantAggregateZero(self.types[reader.uleb()])
+        if tag == _CONST_STRING:
+            return ConstantString(reader.raw())
+        if tag == _CONST_ARRAY:
+            ty = self.types[reader.uleb()]
+            elements = [self._read_constant() for _ in range(ty.count)]  # type: ignore[attr-defined]
+            return ConstantArray(ty, elements)  # type: ignore[arg-type]
+        if tag == _CONST_STRUCT:
+            ty = self.types[reader.uleb()]
+            fields = [self._read_constant() for _ in range(len(ty.fields))]  # type: ignore[attr-defined]
+            return ConstantStruct(ty, fields)  # type: ignore[arg-type]
+        if tag in (_CONST_EXPR_CAST, _CONST_EXPR_GEP):
+            ty = self.types[reader.uleb()]
+            count = reader.uleb()
+            operands = [self._read_constant() for _ in range(count)]
+            opcode = "cast" if tag == _CONST_EXPR_CAST else "getelementptr"
+            return ConstantExpr(opcode, ty, operands)
+        raise BytecodeError(f"bad constant tag {tag}")
+
+    # -- function bodies ------------------------------------------------------------
+
+    def _read_body(self, function: Function) -> None:
+        reader = self.reader
+        pool_count = reader.uleb()
+        pool = [self._read_constant() for _ in range(pool_count)]
+        base = len(self.symbols)
+        arg_base = base + len(pool)
+        inst_base = arg_base + len(function.args)
+
+        block_count = reader.uleb()
+        blocks = [BasicBlock(parent=function) for _ in range(block_count)]
+        # Pass 1: read raw records, create typed result placeholders.
+        # Value ids number only the value-producing instructions, in
+        # layout order (matching the writer's numbering).
+        records: list[list[tuple]] = []
+        placeholders: list[Value] = []
+        for block_index in range(block_count):
+            inst_count = reader.uleb()
+            block_records = []
+            for _ in range(inst_count):
+                word = reader.u32()
+                opcode_number = word >> 26
+                if opcode_number:
+                    type_id = (word >> 18) & 0xFF
+                    a = (word >> 9) & 0x1FF
+                    b = word & 0x1FF
+                    operands = []
+                    if a:
+                        operands.append(a - 1)
+                    if b:
+                        operands.append(b - 1)
+                else:
+                    header = reader.u32()
+                    opcode_number = header >> 26
+                    type_id = (header >> 12) & 0x3FFF
+                    count = header & 0xFFF
+                    operands = [reader.uleb() for _ in range(count)]
+                opcode = _OPCODES[opcode_number - 1]
+                result_type = self.types[type_id]
+                value_slot: Optional[int] = None
+                if opcode in (Opcode.MALLOC, Opcode.ALLOCA):
+                    value_slot = len(placeholders)
+                    placeholders.append(_Placeholder(types.pointer(result_type)))
+                elif not result_type.is_void:
+                    value_slot = len(placeholders)
+                    placeholders.append(_Placeholder(result_type))
+                block_records.append((opcode, result_type, operands, value_slot))
+            records.append(block_records)
+
+        built: list[Optional[Value]] = [None] * len(placeholders)
+
+        def operand(index: int, want_block: bool = False):
+            if want_block:
+                return blocks[index]
+            if index < base:
+                return self.symbols[index]
+            if index < arg_base:
+                return pool[index - base]
+            if index < inst_base:
+                return function.args[index - arg_base]
+            slot = index - inst_base
+            if built[slot] is not None:
+                return built[slot]
+            return placeholders[slot]
+
+        # Pass 2: build instructions.
+        for block, block_records in zip(blocks, records):
+            for opcode, result_type, ids, value_slot in block_records:
+                inst = self._build_instruction(opcode, result_type, ids,
+                                               operand, blocks)
+                block.instructions.append(inst)
+                inst.parent = block
+                if value_slot is not None:
+                    built[value_slot] = inst
+        # Replace placeholder uses with the real instructions.
+        for placeholder, real in zip(placeholders, built):
+            if placeholder.uses:
+                placeholder.replace_all_uses_with(real)
+
+        # Optional local symbol table.
+        name_count = reader.uleb()
+        values_in_order: list[Value] = list(function.args) + [
+            built[i] for i in range(len(built)) if built[i] is not None
+        ]
+        for _ in range(name_count):
+            kind = reader.u8()
+            name = reader.string()
+            value_id = reader.uleb()
+            if kind == 1:
+                blocks[value_id].name = name
+            else:
+                if value_id < arg_base:
+                    continue
+                if value_id < inst_base:
+                    function.args[value_id - arg_base].name = name
+                else:
+                    target = built[value_id - inst_base]
+                    if target is not None:
+                        target.name = name
+
+    def _build_instruction(self, opcode: Opcode, result_type: types.Type,
+                           ids: list[int], operand, blocks) -> object:
+        if opcode in BINARY_OPCODES:
+            return BinaryOperator(opcode, operand(ids[0]), operand(ids[1]))
+        if opcode in (Opcode.SHL, Opcode.SHR):
+            return ShiftInst(opcode, operand(ids[0]), operand(ids[1]))
+        if opcode == Opcode.RET:
+            return ReturnInst(operand(ids[0]) if ids else None)
+        if opcode == Opcode.BR:
+            if len(ids) == 1:
+                return BranchInst(blocks[ids[0]])
+            return BranchInst(blocks[ids[1]], operand(ids[0]), blocks[ids[2]])
+        if opcode == Opcode.SWITCH:
+            cases = []
+            for position in range(2, len(ids), 2):
+                cases.append((operand(ids[position]), blocks[ids[position + 1]]))
+            return SwitchInst(operand(ids[0]), blocks[ids[1]], cases)
+        if opcode == Opcode.INVOKE:
+            args = [operand(i) for i in ids[1:-2]]
+            return InvokeInst(operand(ids[0]), args,
+                              blocks[ids[-2]], blocks[ids[-1]])
+        if opcode == Opcode.UNWIND:
+            return UnwindInst()
+        if opcode == Opcode.MALLOC:
+            size = operand(ids[0]) if ids else None
+            return MallocInst(result_type, size)
+        if opcode == Opcode.ALLOCA:
+            size = operand(ids[0]) if ids else None
+            return AllocaInst(result_type, size)
+        if opcode == Opcode.FREE:
+            return FreeInst(operand(ids[0]))
+        if opcode == Opcode.LOAD:
+            return LoadInst(operand(ids[0]))
+        if opcode == Opcode.STORE:
+            return StoreInst(operand(ids[0]), operand(ids[1]))
+        if opcode == Opcode.GETELEMENTPTR:
+            return GetElementPtrInst(operand(ids[0]),
+                                     [operand(i) for i in ids[1:]])
+        if opcode == Opcode.PHI:
+            phi = PhiNode(result_type)
+            for position in range(0, len(ids), 2):
+                phi.add_incoming(operand(ids[position]),
+                                 blocks[ids[position + 1]])
+            return phi
+        if opcode == Opcode.CAST:
+            return CastInst(operand(ids[0]), result_type)
+        if opcode == Opcode.CALL:
+            return CallInst(operand(ids[0]), [operand(i) for i in ids[1:]])
+        if opcode == Opcode.VAARG:
+            return VAArgInst(operand(ids[0]), result_type)
+        raise BytecodeError(f"cannot decode opcode {opcode}")

@@ -1,0 +1,123 @@
+"""Byte/word-level primitives for the bytecode format."""
+
+from __future__ import annotations
+
+import struct as _struct
+
+
+class Writer:
+    def __init__(self):
+        self._chunks = bytearray()
+
+    def u8(self, value: int) -> None:
+        self._chunks.append(value & 0xFF)
+
+    def u32(self, value: int) -> None:
+        self._chunks += _struct.pack("<I", value & 0xFFFFFFFF)
+
+    def f64(self, value: float) -> None:
+        self._chunks += _struct.pack("<d", value)
+
+    def f32(self, value: float) -> None:
+        self._chunks += _struct.pack("<f", value)
+
+    def uleb(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("uleb encodes non-negative integers")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self.u8(byte | 0x80)
+            else:
+                self.u8(byte)
+                return
+
+    def sleb(self, value: int) -> None:
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            done = (value == 0 and not byte & 0x40) or (value == -1 and byte & 0x40)
+            if done:
+                self.u8(byte)
+                return
+            self.u8(byte | 0x80)
+
+    def string(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.uleb(len(data))
+        self._chunks += data
+
+    def raw(self, data: bytes) -> None:
+        self.uleb(len(data))
+        self._chunks += data
+
+    def getvalue(self) -> bytes:
+        return bytes(self._chunks)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+
+class Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.position = 0
+
+    def u8(self) -> int:
+        value = self.data[self.position]
+        self.position += 1
+        return value
+
+    def u32(self) -> int:
+        value = _struct.unpack_from("<I", self.data, self.position)[0]
+        self.position += 4
+        return value
+
+    def f64(self) -> float:
+        value = _struct.unpack_from("<d", self.data, self.position)[0]
+        self.position += 8
+        return value
+
+    def f32(self) -> float:
+        value = _struct.unpack_from("<f", self.data, self.position)[0]
+        self.position += 4
+        return value
+
+    def uleb(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.u8()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    def sleb(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.u8()
+            result |= (byte & 0x7F) << shift
+            shift += 7
+            if not byte & 0x80:
+                if byte & 0x40:
+                    result -= 1 << shift
+                return result
+
+    def string(self) -> str:
+        length = self.uleb()
+        text = self.data[self.position:self.position + length].decode("utf-8")
+        self.position += length
+        return text
+
+    def raw(self) -> bytes:
+        length = self.uleb()
+        data = self.data[self.position:self.position + length]
+        self.position += length
+        return data
+
+    @property
+    def at_end(self) -> bool:
+        return self.position >= len(self.data)

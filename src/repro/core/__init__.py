@@ -1,0 +1,38 @@
+"""The core IR: types, values, instructions, modules, and the three
+equivalent representations (in-memory, textual, binary)."""
+
+from . import types
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .datalayout import DataLayout, DEFAULT as DEFAULT_DATALAYOUT
+from .instructions import (
+    AllocaInst, AllocationInst, BinaryOperator, BranchInst, CallInst,
+    CastInst, FreeInst, GetElementPtrInst, Instruction, InvokeInst,
+    LoadInst, MallocInst, Opcode, PhiNode, ReturnInst, ShiftInst,
+    StoreInst, SwitchInst, UnwindInst, VAArgInst,
+)
+from .irparser import ParseError, parse_function, parse_module
+from .module import Function, GlobalVariable, Linkage, Module
+from .printer import print_function, print_instruction, print_module
+from .values import (
+    Argument, Constant, ConstantAggregateZero, ConstantArray, ConstantBool,
+    ConstantExpr, ConstantFP, ConstantInt, ConstantPointerNull,
+    ConstantString, ConstantStruct, UndefValue, Use, User, Value, null_value,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "types", "BasicBlock", "IRBuilder", "DataLayout", "DEFAULT_DATALAYOUT",
+    "AllocaInst", "AllocationInst", "BinaryOperator", "BranchInst",
+    "CallInst", "CastInst", "FreeInst", "GetElementPtrInst", "Instruction",
+    "InvokeInst", "LoadInst", "MallocInst", "Opcode", "PhiNode",
+    "ReturnInst", "ShiftInst", "StoreInst", "SwitchInst", "UnwindInst",
+    "VAArgInst", "ParseError", "parse_function", "parse_module",
+    "Function", "GlobalVariable", "Linkage", "Module",
+    "print_function", "print_instruction", "print_module",
+    "Argument", "Constant", "ConstantAggregateZero", "ConstantArray",
+    "ConstantBool", "ConstantExpr", "ConstantFP", "ConstantInt",
+    "ConstantPointerNull", "ConstantString", "ConstantStruct", "UndefValue",
+    "Use", "User", "Value", "null_value",
+    "VerificationError", "verify_function", "verify_module",
+]

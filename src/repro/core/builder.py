@@ -1,0 +1,207 @@
+"""IRBuilder: a convenience API for constructing IR instruction-by-instruction.
+
+The builder is positioned at the end of a basic block (or before a given
+instruction) and appends new instructions there, naming them and
+checking types as it goes.  It performs no optimization — constant
+folding is a separate concern (:mod:`repro.core.constfold`) so that
+front-ends can emit naive code and rely on the optimizer, as the paper's
+compilation strategy prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from . import types
+from .basicblock import BasicBlock
+from .instructions import (
+    AllocaInst, BinaryOperator, BranchInst, CallInst, CastInst, FreeInst,
+    GetElementPtrInst, Instruction, InvokeInst, LoadInst, MallocInst, Opcode,
+    PhiNode, ReturnInst, ShiftInst, StoreInst, SwitchInst, UnwindInst,
+    VAArgInst,
+)
+from .values import ConstantBool, ConstantInt, Value
+
+
+class IRBuilder:
+    """Appends instructions at a position within a basic block."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+        self._insert_index: Optional[int] = None
+
+    # -- positioning -------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> "IRBuilder":
+        self.block = block
+        self._insert_index = None
+        return self
+
+    def position_before(self, inst: Instruction) -> "IRBuilder":
+        self.block = inst.parent
+        self._insert_index = self.block.instructions.index(inst)
+        return self
+
+    @property
+    def function(self):
+        return self.block.parent if self.block is not None else None
+
+    def _insert(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        if self._insert_index is None:
+            self.block.append(inst)
+        else:
+            self.block.insert(self._insert_index, inst)
+            self._insert_index += 1
+        return inst
+
+    # -- terminators ----------------------------------------------------------
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._insert(ReturnInst(value))
+
+    def ret_void(self) -> Instruction:
+        return self._insert(ReturnInst(None))
+
+    def br(self, dest: BasicBlock) -> Instruction:
+        return self._insert(BranchInst(dest))
+
+    def cond_br(self, cond: Value, true_dest: BasicBlock,
+                false_dest: BasicBlock) -> Instruction:
+        return self._insert(BranchInst(true_dest, cond, false_dest))
+
+    def switch(self, value: Value, default: BasicBlock,
+               cases: Sequence[tuple[ConstantInt, BasicBlock]] = ()) -> SwitchInst:
+        return self._insert(SwitchInst(value, default, cases))  # type: ignore[return-value]
+
+    def invoke(self, callee: Value, args: Sequence[Value],
+               normal_dest: BasicBlock, unwind_dest: BasicBlock,
+               name: str = "") -> InvokeInst:
+        return self._insert(InvokeInst(callee, args, normal_dest, unwind_dest, name))  # type: ignore[return-value]
+
+    def unwind(self) -> Instruction:
+        return self._insert(UnwindInst())
+
+    # -- binary operations ----------------------------------------------------
+
+    def _binary(self, opcode: Opcode, lhs: Value, rhs: Value, name: str) -> Value:
+        return self._insert(BinaryOperator(opcode, lhs, rhs, name))
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.ADD, lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.SUB, lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.MUL, lhs, rhs, name)
+
+    def div(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.DIV, lhs, rhs, name)
+
+    def rem(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.REM, lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.AND, lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.OR, lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.XOR, lhs, rhs, name)
+
+    def seteq(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.SETEQ, lhs, rhs, name)
+
+    def setne(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.SETNE, lhs, rhs, name)
+
+    def setlt(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.SETLT, lhs, rhs, name)
+
+    def setgt(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.SETGT, lhs, rhs, name)
+
+    def setle(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.SETLE, lhs, rhs, name)
+
+    def setge(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._binary(Opcode.SETGE, lhs, rhs, name)
+
+    def neg(self, value: Value, name: str = "") -> Value:
+        """``0 - value`` (there is no dedicated neg opcode)."""
+        from .values import null_value
+
+        return self.sub(null_value(value.type), value, name)
+
+    def not_(self, value: Value, name: str = "") -> Value:
+        """``value xor all-ones`` (there is no dedicated not opcode)."""
+        if value.type.is_bool:
+            return self.xor(value, ConstantBool(True), name)
+        all_ones = ConstantInt(value.type, -1)  # type: ignore[arg-type]
+        return self.xor(value, all_ones, name)
+
+    def shl(self, value: Value, amount: Value, name: str = "") -> Value:
+        return self._insert(ShiftInst(Opcode.SHL, value, amount, name))
+
+    def shr(self, value: Value, amount: Value, name: str = "") -> Value:
+        return self._insert(ShiftInst(Opcode.SHR, value, amount, name))
+
+    # -- memory -----------------------------------------------------------------
+
+    def alloca(self, allocated_type: types.Type,
+               array_size: Optional[Value] = None, name: str = "") -> Value:
+        return self._insert(AllocaInst(allocated_type, array_size, name))
+
+    def malloc(self, allocated_type: types.Type,
+               array_size: Optional[Value] = None, name: str = "") -> Value:
+        return self._insert(MallocInst(allocated_type, array_size, name))
+
+    def free(self, ptr: Value) -> Instruction:
+        return self._insert(FreeInst(ptr))
+
+    def load(self, ptr: Value, name: str = "") -> Value:
+        return self._insert(LoadInst(ptr, name))
+
+    def store(self, value: Value, ptr: Value) -> Instruction:
+        return self._insert(StoreInst(value, ptr))
+
+    def gep(self, ptr: Value, indices: Sequence[Value], name: str = "") -> Value:
+        return self._insert(GetElementPtrInst(ptr, indices, name))
+
+    def struct_gep(self, ptr: Value, field_index: int, name: str = "") -> Value:
+        """GEP to field ``field_index`` of the struct ``ptr`` points at."""
+        return self.gep(
+            ptr,
+            [ConstantInt(types.LONG, 0), ConstantInt(types.UINT, field_index)],
+            name,
+        )
+
+    def array_gep(self, ptr: Value, index: Value, name: str = "") -> Value:
+        """GEP to element ``index`` of the array ``ptr`` points at."""
+        return self.gep(ptr, [ConstantInt(types.LONG, 0), index], name)
+
+    # -- other ---------------------------------------------------------------------
+
+    def phi(self, ty: types.Type, name: str = "") -> PhiNode:
+        """Create a phi node, inserted at the start of the current block."""
+        node = PhiNode(ty, name)
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        self.block.insert(self.block.first_non_phi_index(), node)
+        if self._insert_index is not None:
+            self._insert_index += 1
+        return node
+
+    def cast(self, value: Value, dest_type: types.Type, name: str = "") -> Value:
+        if value.type is dest_type:
+            return value
+        return self._insert(CastInst(value, dest_type, name))
+
+    def call(self, callee: Value, args: Sequence[Value], name: str = "") -> Value:
+        return self._insert(CallInst(callee, args, name))
+
+    def vaarg(self, valist: Value, result_type: types.Type, name: str = "") -> Value:
+        return self._insert(VAArgInst(valist, result_type, name))

@@ -1,0 +1,246 @@
+"""Exact evaluation semantics for the instruction set, plus constant folding.
+
+This module is the single source of truth for what each opcode *means*
+on concrete values: the execution engine interprets instructions with
+these helpers, and the optimizer folds constants with them, so the two
+can never disagree.
+
+Conventions for the raw evaluators:
+
+* integers are Python ints already wrapped into their type's range;
+* pointers are Python ints (addresses in the flat memory model);
+* floats are Python floats, re-rounded through single precision after
+  every operation on ``float``-typed values;
+* division/remainder follow C semantics (truncation toward zero, the
+  remainder takes the dividend's sign); division by zero raises
+  :class:`ArithmeticFault`.
+"""
+
+from __future__ import annotations
+
+import math
+import struct as _struct
+from typing import Optional
+
+from . import types
+from .instructions import Opcode
+from .types import Type
+from .values import (
+    Constant, ConstantBool, ConstantFP, ConstantInt, ConstantPointerNull,
+    UndefValue, Value,
+)
+
+
+class ArithmeticFault(Exception):
+    """Raised for division or remainder by zero."""
+
+
+def _round_fp(ty: Type, value: float) -> float:
+    if ty.is_floating and ty.bits == 32:  # type: ignore[attr-defined]
+        return _struct.unpack("<f", _struct.pack("<f", value))[0]
+    return value
+
+
+def _to_unsigned(ty: types.IntegerType, value: int) -> int:
+    return value & ((1 << ty.bits) - 1)
+
+
+def eval_binary(opcode: Opcode, ty: Type, lhs, rhs):
+    """Evaluate a binary opcode on concrete operand values of type ``ty``.
+
+    For comparisons the result is a Python bool; otherwise a value of
+    ``ty``'s representation.
+    """
+    if opcode == Opcode.ADD:
+        if ty.is_floating:
+            return _round_fp(ty, lhs + rhs)
+        return ty.wrap(lhs + rhs)  # type: ignore[attr-defined]
+    if opcode == Opcode.SUB:
+        if ty.is_floating:
+            return _round_fp(ty, lhs - rhs)
+        return ty.wrap(lhs - rhs)  # type: ignore[attr-defined]
+    if opcode == Opcode.MUL:
+        if ty.is_floating:
+            return _round_fp(ty, lhs * rhs)
+        return ty.wrap(lhs * rhs)  # type: ignore[attr-defined]
+    if opcode == Opcode.DIV:
+        if ty.is_floating:
+            if rhs == 0.0:
+                if lhs == 0.0:
+                    return _round_fp(ty, math.nan)
+                return _round_fp(ty, math.copysign(math.inf, lhs) * math.copysign(1.0, rhs))
+            return _round_fp(ty, lhs / rhs)
+        if rhs == 0:
+            raise ArithmeticFault("integer division by zero")
+        quotient = abs(lhs) // abs(rhs)
+        if (lhs < 0) != (rhs < 0):
+            quotient = -quotient
+        return ty.wrap(quotient)  # type: ignore[attr-defined]
+    if opcode == Opcode.REM:
+        if ty.is_floating:
+            if rhs == 0.0:
+                return _round_fp(ty, math.nan)
+            return _round_fp(ty, math.fmod(lhs, rhs))
+        if rhs == 0:
+            raise ArithmeticFault("integer remainder by zero")
+        remainder = abs(lhs) % abs(rhs)
+        if lhs < 0:
+            remainder = -remainder
+        return ty.wrap(remainder)  # type: ignore[attr-defined]
+    if opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
+        if ty.is_bool:
+            a, b = int(lhs), int(rhs)
+            if opcode == Opcode.AND:
+                return bool(a & b)
+            if opcode == Opcode.OR:
+                return bool(a | b)
+            return bool(a ^ b)
+        bits_lhs = _to_unsigned(ty, lhs)  # type: ignore[arg-type]
+        bits_rhs = _to_unsigned(ty, rhs)  # type: ignore[arg-type]
+        if opcode == Opcode.AND:
+            result = bits_lhs & bits_rhs
+        elif opcode == Opcode.OR:
+            result = bits_lhs | bits_rhs
+        else:
+            result = bits_lhs ^ bits_rhs
+        return ty.wrap(result)  # type: ignore[attr-defined]
+    if opcode == Opcode.SETEQ:
+        return lhs == rhs
+    if opcode == Opcode.SETNE:
+        return lhs != rhs
+    # Ordered comparisons: ints arrive signed-corrected, pointers as
+    # non-negative addresses, so plain Python comparison is right.
+    if opcode == Opcode.SETLT:
+        return lhs < rhs
+    if opcode == Opcode.SETGT:
+        return lhs > rhs
+    if opcode == Opcode.SETLE:
+        return lhs <= rhs
+    if opcode == Opcode.SETGE:
+        return lhs >= rhs
+    raise ValueError(f"not a binary opcode: {opcode}")
+
+
+def eval_shift(opcode: Opcode, ty: types.IntegerType, value: int, amount: int) -> int:
+    """Evaluate ``shl``/``shr``.  Over-wide shifts saturate deterministically."""
+    if opcode == Opcode.SHL:
+        if amount >= ty.bits:
+            return 0
+        return ty.wrap(value << amount)
+    if opcode == Opcode.SHR:
+        if ty.signed:
+            if amount >= ty.bits:
+                return -1 if value < 0 else 0
+            return ty.wrap(value >> amount)  # Python >> is arithmetic
+        if amount >= ty.bits:
+            return 0
+        return ty.wrap(_to_unsigned(ty, value) >> amount)
+    raise ValueError(f"not a shift opcode: {opcode}")
+
+
+def eval_cast(src_ty: Type, dst_ty: Type, value):
+    """Evaluate ``cast`` between first-class types.
+
+    Integer widening extends according to the *source* signedness (the
+    LLVM 1.x rule); narrowing truncates bits and reinterprets by the
+    destination signedness.
+    """
+    if src_ty is dst_ty:
+        return value
+    # Normalise the source to (python int | float | bool)
+    if dst_ty.is_bool:
+        return value != 0 if not src_ty.is_floating else value != 0.0
+    if dst_ty.is_integer:
+        if src_ty.is_floating:
+            if math.isnan(value) or math.isinf(value):
+                return 0
+            return dst_ty.wrap(int(value))  # type: ignore[attr-defined]
+        if src_ty.is_bool:
+            return dst_ty.wrap(int(value))  # type: ignore[attr-defined]
+        # int or pointer source: reinterpret the bit pattern.
+        return dst_ty.wrap(int(value))  # type: ignore[attr-defined]
+    if dst_ty.is_floating:
+        if src_ty.is_bool:
+            return _round_fp(dst_ty, float(int(value)))
+        if src_ty.is_integer or src_ty.is_floating:
+            return _round_fp(dst_ty, float(value))
+        raise TypeError(f"cannot cast {src_ty} to {dst_ty}")
+    if dst_ty.is_pointer:
+        if src_ty.is_pointer:
+            return value
+        if src_ty.is_integer or src_ty.is_bool:
+            return int(value) & ((1 << 64) - 1)
+        raise TypeError(f"cannot cast {src_ty} to {dst_ty}")
+    raise TypeError(f"cannot cast {src_ty} to {dst_ty}")
+
+
+# ---------------------------------------------------------------------------
+# Constant folding over Constant objects
+# ---------------------------------------------------------------------------
+
+def _constant_scalar(constant: Constant):
+    if isinstance(constant, ConstantInt):
+        return constant.value
+    if isinstance(constant, ConstantBool):
+        return constant.value
+    if isinstance(constant, ConstantFP):
+        return constant.value
+    if isinstance(constant, ConstantPointerNull):
+        return 0
+    return None
+
+
+def make_constant(ty: Type, value) -> Constant:
+    """Wrap a raw evaluated value back into a Constant of type ``ty``."""
+    if ty.is_bool:
+        return ConstantBool(bool(value))
+    if ty.is_integer:
+        return ConstantInt(ty, int(value))  # type: ignore[arg-type]
+    if ty.is_floating:
+        return ConstantFP(ty, float(value))  # type: ignore[arg-type]
+    if ty.is_pointer and value == 0:
+        return ConstantPointerNull(ty)  # type: ignore[arg-type]
+    raise TypeError(f"cannot materialise constant of type {ty} from {value!r}")
+
+
+def fold_binary(opcode: Opcode, lhs: Constant, rhs: Constant) -> Optional[Constant]:
+    """Fold a binary operation over constants; None if not foldable."""
+    if isinstance(lhs, UndefValue) or isinstance(rhs, UndefValue):
+        return None
+    a = _constant_scalar(lhs)
+    b = _constant_scalar(rhs)
+    if a is None or b is None:
+        return None
+    ty = lhs.type
+    try:
+        result = eval_binary(opcode, ty, a, b)
+    except ArithmeticFault:
+        return None
+    from .instructions import COMPARISON_OPCODES
+
+    if opcode in COMPARISON_OPCODES:
+        return ConstantBool(bool(result))
+    return make_constant(ty, result)
+
+
+def fold_shift(opcode: Opcode, value: Constant, amount: Constant) -> Optional[Constant]:
+    if not isinstance(value, ConstantInt) or not isinstance(amount, ConstantInt):
+        return None
+    result = eval_shift(opcode, value.type, value.value, amount.value)  # type: ignore[arg-type]
+    return ConstantInt(value.type, result)  # type: ignore[arg-type]
+
+
+def fold_cast(value: Constant, dest_type: Type) -> Optional[Constant]:
+    if value.type is dest_type:
+        return value
+    if isinstance(value, UndefValue):
+        return UndefValue(dest_type)
+    scalar = _constant_scalar(value)
+    if scalar is None:
+        return None
+    if value.type.is_pointer and not isinstance(value, ConstantPointerNull):
+        return None
+    result = eval_cast(value.type, dest_type, scalar)
+    if dest_type.is_pointer and result != 0:
+        return None  # non-null pointer constants are symbolic (globals)
+    return make_constant(dest_type, result)

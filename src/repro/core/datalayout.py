@@ -1,0 +1,104 @@
+"""Target data layout: sizes, alignments, and aggregate field offsets.
+
+``getelementptr`` has machine-independent *semantics* (it indexes typed
+objects), but lowering it to address arithmetic, allocating memory in
+the execution engine, and emitting native code all require concrete
+sizes.  A :class:`DataLayout` pins those down for a target; the default
+matches a 64-bit little-endian machine (8-byte pointers).
+"""
+
+from __future__ import annotations
+
+from . import types
+from .types import Type
+
+
+class DataLayout:
+    """Computes concrete sizes, alignments, and struct layouts for a target."""
+
+    def __init__(self, pointer_size: int = 8, little_endian: bool = True):
+        if pointer_size not in (4, 8):
+            raise ValueError("pointer size must be 4 or 8 bytes")
+        self.pointer_size = pointer_size
+        self.little_endian = little_endian
+        self._struct_layouts: dict[int, tuple[tuple[int, ...], int, int]] = {}
+
+    # -- sizes ------------------------------------------------------------
+
+    def size_of(self, ty: Type) -> int:
+        """Allocated size of ``ty`` in bytes (including struct tail padding)."""
+        if ty.is_bool:
+            return 1
+        if ty.is_integer or ty.is_floating:
+            return ty.bits // 8  # type: ignore[attr-defined]
+        if ty.is_pointer:
+            return self.pointer_size
+        if ty.is_array:
+            return ty.count * self.size_of(ty.element)  # type: ignore[attr-defined]
+        if ty.is_struct:
+            return self._struct_layout(ty)[1]
+        raise TypeError(f"type {ty} has no size")
+
+    def align_of(self, ty: Type) -> int:
+        """ABI alignment of ``ty`` in bytes."""
+        if ty.is_bool:
+            return 1
+        if ty.is_integer or ty.is_floating:
+            return ty.bits // 8  # type: ignore[attr-defined]
+        if ty.is_pointer:
+            return self.pointer_size
+        if ty.is_array:
+            return self.align_of(ty.element)  # type: ignore[attr-defined]
+        if ty.is_struct:
+            return self._struct_layout(ty)[2]
+        raise TypeError(f"type {ty} has no alignment")
+
+    # -- struct layout ----------------------------------------------------
+
+    def _struct_layout(self, ty: Type) -> tuple[tuple[int, ...], int, int]:
+        """(field offsets, total size, alignment) for a struct type."""
+        cached = self._struct_layouts.get(id(ty))
+        if cached is not None:
+            return cached
+        offsets = []
+        offset = 0
+        max_align = 1
+        for field in ty.fields:  # type: ignore[attr-defined]
+            align = self.align_of(field)
+            max_align = max(max_align, align)
+            offset = _align_up(offset, align)
+            offsets.append(offset)
+            offset += self.size_of(field)
+        total = _align_up(offset, max_align) if offsets else 0
+        layout = (tuple(offsets), total, max_align)
+        self._struct_layouts[id(ty)] = layout
+        return layout
+
+    def field_offset(self, struct_ty: Type, index: int) -> int:
+        """Byte offset of field ``index`` within ``struct_ty``."""
+        if not struct_ty.is_struct:
+            raise TypeError(f"{struct_ty} is not a struct")
+        return self._struct_layout(struct_ty)[0][index]
+
+    def element_offset(self, aggregate: Type, index: int) -> int:
+        """Byte offset of element ``index`` in a struct or array type."""
+        if aggregate.is_struct:
+            return self.field_offset(aggregate, index)
+        if aggregate.is_array:
+            return index * self.size_of(aggregate.element)  # type: ignore[attr-defined]
+        raise TypeError(f"{aggregate} is not an aggregate type")
+
+    # -- pointer-width integer --------------------------------------------
+
+    @property
+    def intptr_type(self) -> types.IntegerType:
+        """The unsigned integer type as wide as a pointer."""
+        return types.ULONG if self.pointer_size == 8 else types.UINT
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+#: A reasonable default layout (64-bit little-endian).
+DEFAULT = DataLayout()

@@ -1,0 +1,306 @@
+"""Plain-text representation writer (paper section 2.5).
+
+The IR is a first-class language with equivalent textual, binary, and
+in-memory forms.  This module renders the in-memory form as text in the
+LLVM 1.x style; :mod:`repro.core.irparser` reads it back with no
+information loss, which the property tests exercise as a round-trip.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Optional
+
+from . import types
+from .basicblock import BasicBlock
+from .instructions import (
+    AllocationInst, BranchInst, CallInst, CastInst, GetElementPtrInst,
+    Instruction, InvokeInst, Opcode, PhiNode, ReturnInst, ShiftInst,
+    SwitchInst, VAArgInst,
+)
+from .module import Function, GlobalVariable, Linkage, Module
+from .values import (
+    Argument, Constant, ConstantAggregateZero, ConstantArray, ConstantBool,
+    ConstantExpr, ConstantFP, ConstantInt, ConstantPointerNull,
+    ConstantString, ConstantStruct, UndefValue, Value,
+)
+
+_IDENT_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._")
+
+
+def _quote_name(name: str) -> str:
+    """Render a symbol name, quoting when it needs escaping."""
+    if name and all(c in _IDENT_OK for c in name):
+        return name
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _escape_string(data: bytes) -> str:
+    parts = []
+    for byte in data:
+        if 32 <= byte < 127 and byte not in (34, 92):  # printable, not " or \
+            parts.append(chr(byte))
+        else:
+            parts.append(f"\\{byte:02x}")
+    return "".join(parts)
+
+
+def format_float(value: float) -> str:
+    text = repr(value)
+    return text
+
+
+class _NameScope:
+    """Assigns unique printed names to values within one scope."""
+
+    def __init__(self):
+        self._names: dict[int, str] = {}
+        self._used: set[str] = set()
+        self._counter = 0
+
+    def name_of(self, value: Value) -> str:
+        cached = self._names.get(id(value))
+        if cached is not None:
+            return cached
+        if value.name:
+            candidate = value.name
+            suffix = 0
+            while candidate in self._used:
+                suffix += 1
+                candidate = f"{value.name}.{suffix}"
+        else:
+            candidate = str(self._counter)
+            self._counter += 1
+            while candidate in self._used:
+                candidate = str(self._counter)
+                self._counter += 1
+        self._used.add(candidate)
+        self._names[id(value)] = candidate
+        return candidate
+
+
+class ModulePrinter:
+    """Prints a module (or pieces of one) as text."""
+
+    def __init__(self, module: Optional[Module] = None):
+        self.module = module
+
+    # -- public API ---------------------------------------------------------
+
+    def print_module(self, module: Module) -> str:
+        self.module = module
+        out = StringIO()
+        out.write(f"; ModuleID = '{module.name}'\n")
+        if module.named_types:
+            for name, struct_ty in module.named_types.items():
+                out.write(f"%{_quote_name(name)} = type {struct_ty.body_str()}\n")
+            out.write("\n")
+        for global_var in module.globals.values():
+            out.write(self.format_global(global_var))
+            out.write("\n")
+        if module.globals:
+            out.write("\n")
+        for function in module.functions.values():
+            out.write(self.format_function(function))
+            out.write("\n")
+        return out.getvalue()
+
+    def format_global(self, global_var: GlobalVariable) -> str:
+        keyword = "constant" if global_var.is_constant else "global"
+        pieces = [f"%{_quote_name(global_var.name)} ="]
+        if global_var.linkage != Linkage.EXTERNAL:
+            pieces.append(global_var.linkage)
+        if global_var.is_declaration:
+            pieces.append("external")
+            pieces.append(keyword)
+            pieces.append(str(global_var.value_type))
+        else:
+            pieces.append(keyword)
+            pieces.append(self.format_typed_constant(global_var.initializer))
+        return " ".join(pieces)
+
+    def format_function(self, function: Function) -> str:
+        scope = _NameScope()
+        # Locals may not collide with module symbols: % names share one
+        # namespace in the textual form and module scope wins fallback.
+        module = function.parent or self.module
+        if module is not None:
+            scope._used.update(module.globals)
+            scope._used.update(module.functions)
+        fn_ty = function.function_type
+        params = []
+        for arg in function.args:
+            params.append(f"{arg.type} %{_quote_name(scope.name_of(arg))}")
+        if fn_ty.is_vararg:
+            params.append("...")
+        linkage = f"{function.linkage} " if function.linkage != Linkage.EXTERNAL else ""
+        header = (f"{linkage}{fn_ty.return_type} "
+                  f"%{_quote_name(function.name)}({', '.join(params)})")
+        if function.is_declaration:
+            return f"declare {header}\n"
+        out = StringIO()
+        out.write(f"{header} {{\n")
+        # Pre-name blocks in layout order so labels read top-to-bottom.
+        for block in function.blocks:
+            scope.name_of(block)
+        for index, block in enumerate(function.blocks):
+            if index:
+                out.write("\n")
+            out.write(f"{_quote_name(scope.name_of(block))}:\n")
+            for inst in block.instructions:
+                out.write("  ")
+                out.write(self.format_instruction(inst, scope))
+                out.write("\n")
+        out.write("}\n")
+        return out.getvalue()
+
+    # -- operands --------------------------------------------------------------
+
+    def format_operand(self, value: Value, scope: _NameScope) -> str:
+        """The operand text *without* its leading type."""
+        if isinstance(value, BasicBlock):
+            return f"%{_quote_name(scope.name_of(value))}"
+        if isinstance(value, (Function, GlobalVariable)):
+            return f"%{_quote_name(value.name)}"
+        if isinstance(value, Constant):
+            return self.format_constant_value(value)
+        return f"%{_quote_name(scope.name_of(value))}"
+
+    def format_typed(self, value: Value, scope: _NameScope) -> str:
+        if isinstance(value, BasicBlock):
+            return f"label {self.format_operand(value, scope)}"
+        return f"{value.type} {self.format_operand(value, scope)}"
+
+    def format_constant_value(self, constant: Constant) -> str:
+        if isinstance(constant, ConstantInt):
+            return str(constant.value)
+        if isinstance(constant, ConstantBool):
+            return "true" if constant.value else "false"
+        if isinstance(constant, ConstantFP):
+            return format_float(constant.value)
+        if isinstance(constant, ConstantPointerNull):
+            return "null"
+        if isinstance(constant, UndefValue):
+            return "undef"
+        if isinstance(constant, ConstantAggregateZero):
+            return "zeroinitializer"
+        if isinstance(constant, ConstantString):
+            return f'c"{_escape_string(constant.data)}"'
+        if isinstance(constant, ConstantArray):
+            inner = ", ".join(self.format_typed_constant(e) for e in constant.elements)
+            return f"[ {inner} ]" if inner else "[ ]"
+        if isinstance(constant, ConstantStruct):
+            inner = ", ".join(self.format_typed_constant(f) for f in constant.fields_values)
+            return f"{{ {inner} }}" if inner else "{ }"
+        if isinstance(constant, ConstantExpr):
+            if constant.opcode == "cast":
+                source = self.format_typed_constant(constant.operands[0])
+                return f"cast ({source} to {constant.type})"
+            inner = ", ".join(self.format_typed_constant(op) for op in constant.operands)
+            return f"getelementptr ({inner})"
+        raise TypeError(f"cannot print constant {constant!r}")
+
+    def format_typed_constant(self, constant: Constant) -> str:
+        if isinstance(constant, (Function, GlobalVariable)):
+            return f"{constant.type} %{_quote_name(constant.name)}"
+        return f"{constant.type} {self.format_constant_value(constant)}"
+
+    # -- instructions ---------------------------------------------------------------
+
+    def format_instruction(self, inst: Instruction, scope: _NameScope) -> str:
+        body = self._instruction_body(inst, scope)
+        if inst.type.is_void:
+            return body
+        return f"%{_quote_name(scope.name_of(inst))} = {body}"
+
+    def _instruction_body(self, inst: Instruction, scope: _NameScope) -> str:
+        op = inst.opcode
+        fmt = lambda v: self.format_operand(v, scope)  # noqa: E731
+        typed = lambda v: self.format_typed(v, scope)  # noqa: E731
+
+        if isinstance(inst, ReturnInst):
+            value = inst.return_value
+            return "ret void" if value is None else f"ret {typed(value)}"
+        if isinstance(inst, BranchInst):
+            if inst.is_conditional:
+                return (f"br bool {fmt(inst.condition)}, {typed(inst.operands[1])}, "
+                        f"{typed(inst.operands[2])}")
+            return f"br {typed(inst.operands[0])}"
+        if isinstance(inst, SwitchInst):
+            cases = " ".join(
+                f"{typed(value)}, {typed(dest)}" for value, dest in inst.cases
+            )
+            return (f"switch {typed(inst.value)}, {typed(inst.default_dest)} "
+                    f"[ {cases} ]")
+        if isinstance(inst, InvokeInst):
+            args = ", ".join(typed(a) for a in inst.args)
+            callee = self._callee_text(inst.callee, scope)
+            return (f"invoke {callee}({args}) to {typed(inst.normal_dest)} "
+                    f"unwind to {typed(inst.unwind_dest)}")
+        if op == Opcode.UNWIND:
+            return "unwind"
+        if inst.is_binary_op:
+            lhs, rhs = inst.operands
+            return f"{op.value} {lhs.type} {fmt(lhs)}, {fmt(rhs)}"
+        if isinstance(inst, ShiftInst):
+            return (f"{op.value} {inst.value.type} {fmt(inst.value)}, "
+                    f"ubyte {fmt(inst.amount)}")
+        if isinstance(inst, AllocationInst):
+            base = f"{op.value} {inst.allocated_type}"
+            if inst.array_size is not None:
+                return f"{base}, uint {fmt(inst.array_size)}"
+            return base
+        if op == Opcode.FREE:
+            return f"free {typed(inst.operands[0])}"
+        if op == Opcode.LOAD:
+            return f"load {typed(inst.operands[0])}"
+        if op == Opcode.STORE:
+            value, ptr = inst.operands
+            return f"store {typed(value)}, {typed(ptr)}"
+        if isinstance(inst, GetElementPtrInst):
+            parts = [typed(inst.pointer)]
+            parts.extend(typed(index) for index in inst.indices)
+            return f"getelementptr {', '.join(parts)}"
+        if isinstance(inst, PhiNode):
+            entries = ", ".join(
+                f"[ {fmt(value)}, {fmt(block)} ]" for value, block in inst.incoming
+            )
+            return f"phi {inst.type} {entries}"
+        if isinstance(inst, CastInst):
+            return f"cast {typed(inst.value)} to {inst.type}"
+        if isinstance(inst, CallInst):
+            args = ", ".join(typed(a) for a in inst.args)
+            callee = self._callee_text(inst.callee, scope)
+            return f"call {callee}({args})"
+        if isinstance(inst, VAArgInst):
+            return f"vaarg {typed(inst.valist)}, {inst.type}"
+        raise TypeError(f"cannot print instruction {inst!r}")
+
+    def _callee_text(self, callee: Value, scope: _NameScope) -> str:
+        """Callee with its return type, or full type when needed.
+
+        Direct calls to a simple function print as ``call int %f``;
+        varargs and indirect calls print the full function-pointer type
+        so the parser can reconstruct the signature.
+        """
+        fn_ty = callee.type.pointee
+        direct = isinstance(callee, Function)
+        if direct and not fn_ty.is_vararg:
+            return f"{fn_ty.return_type} {self.format_operand(callee, scope)}"
+        return f"{callee.type} {self.format_operand(callee, scope)}"
+
+
+def print_module(module: Module) -> str:
+    """Render an entire module as text."""
+    return ModulePrinter().print_module(module)
+
+
+def print_function(function: Function) -> str:
+    """Render one function as text."""
+    return ModulePrinter(function.parent).format_function(function)
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction (names assigned fresh — debugging aid)."""
+    return ModulePrinter().format_instruction(inst, _NameScope())

@@ -1,0 +1,18 @@
+"""C++ front-end lowering patterns (paper section 4.1.2).
+
+LC has no classes, but the paper's point is that a C++ front-end maps
+cleanly onto the representation: base classes become nested structure
+types, virtual function tables become global constant arrays of typed
+function pointers, and exceptions become ``invoke``/``unwind`` plus a
+runtime library.  This package provides those lowerings as a library —
+the moral equivalent of the C++ front-end's code generation strategy —
+so examples and benchmarks can build class hierarchies and EH-heavy
+code directly.
+"""
+
+from .classes import ClassBuilder, ClassInfo
+from .exceptions import build_throw, build_try_catch
+from .setjmp import SetjmpRegion, emit_longjmp
+
+__all__ = ["ClassBuilder", "ClassInfo", "build_throw", "build_try_catch",
+           "SetjmpRegion", "emit_longjmp"]

@@ -1,0 +1,171 @@
+"""Class lowering: nested structs, vtables, and virtual dispatch.
+
+Implements the mapping of paper section 4.1.2:
+
+* "Base classes are expanded into nested structure types": for
+  ``class derived : base { short Z; }`` the type is ``{ {base}, short }``;
+* "If the classes have virtual functions, a v-table pointer would also
+  be included and initialized at object allocation time";
+* "A virtual function table is represented as a global, constant array
+  of typed function pointers, plus the type-id object for the class";
+* virtual calls load the function pointer from the vtable and call it —
+  which the optimizer can then resolve (see
+  :mod:`repro.transforms.ipo.devirtualize`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import types
+from ..core.builder import IRBuilder
+from ..core.module import Function, Linkage, Module
+from ..core.values import (
+    Constant, ConstantArray, ConstantExpr, ConstantInt, ConstantStruct,
+    Value,
+)
+
+#: All virtual methods share this generic signature: int method(sbyte* this).
+#: Call sites pass the object cast to sbyte*, like a real this-pointer ABI.
+GENERIC_THIS = types.pointer(types.SBYTE)
+
+
+class ClassInfo:
+    """One lowered class: its struct type, vtable global, and methods."""
+
+    def __init__(self, name: str, struct_type: types.StructType,
+                 vtable, methods: dict[str, int], base: Optional["ClassInfo"]):
+        self.name = name
+        self.struct_type = struct_type
+        self.vtable = vtable
+        #: method name -> vtable slot index.
+        self.methods = methods
+        self.base = base
+
+    @property
+    def pointer_type(self) -> types.PointerType:
+        return types.pointer(self.struct_type)
+
+
+class ClassBuilder:
+    """Builds single-inheritance class hierarchies in a module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.method_type = types.function(types.INT, [GENERIC_THIS])
+        self.method_ptr = types.pointer(self.method_type)
+        #: The vtable-pointer field: points at the table's first slot.
+        self.vptr_type = types.pointer(self.method_ptr)
+        self._next_typeid = 1
+
+    def define_class(self, name: str, fields: Sequence[types.Type],
+                     virtuals: dict[str, Function],
+                     base: Optional[ClassInfo] = None) -> ClassInfo:
+        """Lower one class.
+
+        ``virtuals`` maps method names to implementations (taking the
+        generic ``sbyte*`` this).  Overrides replace the base's slot;
+        new methods extend the table.
+        """
+        methods: dict[str, int] = dict(base.methods) if base else {}
+        table: list[Optional[Function]] = [None] * len(methods)
+        if base is not None:
+            for method_name, slot in base.methods.items():
+                table[slot] = self._vtable_entry(base, slot)
+        for method_name, implementation in virtuals.items():
+            if method_name in methods:
+                table[methods[method_name]] = implementation
+            else:
+                methods[method_name] = len(table)
+                table.append(implementation)
+
+        # "Base classes are expanded into nested structure types."
+        if base is None:
+            struct_type = types.named_struct(name, [self.vptr_type, *fields])
+        else:
+            struct_type = types.named_struct(name, [base.struct_type, *fields])
+        self.module.add_named_type(struct_type)
+
+        # "A global, constant array of typed function pointers, plus the
+        # type-id object for the class."
+        vtable_type = types.array(self.method_ptr, len(table))
+        typeid = ConstantInt(types.INT, self._next_typeid)
+        self._next_typeid += 1
+        entries = [self._as_method_ptr(entry) for entry in table]
+        vtable_struct = types.struct([types.INT, vtable_type])
+        vtable_init = ConstantStruct(
+            vtable_struct, [typeid, ConstantArray(vtable_type, entries)]
+        )
+        vtable = self.module.new_global(
+            vtable_struct, self.module.unique_symbol(f"{name}.vtable"),
+            vtable_init, Linkage.INTERNAL, is_constant=True,
+        )
+        return ClassInfo(name, struct_type, vtable, methods, base)
+
+    def _as_method_ptr(self, function: Optional[Function]) -> Constant:
+        assert function is not None, "vtable slot left abstract"
+        if function.type is self.method_ptr:
+            return function
+        return ConstantExpr("cast", self.method_ptr, (function,))
+
+    def _vtable_entry(self, info: ClassInfo, slot: int) -> Function:
+        array = info.vtable.initializer.fields_values[1]
+        entry = array.elements[slot]
+        if isinstance(entry, ConstantExpr):
+            entry = entry.operands[0]
+        return entry  # type: ignore[return-value]
+
+    # -- object construction and dispatch -----------------------------------
+
+    def emit_new(self, builder: IRBuilder, info: ClassInfo,
+                 name: str = "obj") -> Value:
+        """Heap-allocate an object and install its vtable pointer
+        ("initialized at object allocation time")."""
+        obj = builder.malloc(info.struct_type, name=name)
+        self.emit_install_vtable(builder, info, obj)
+        return obj
+
+    def emit_install_vtable(self, builder: IRBuilder, info: ClassInfo,
+                            obj: Value) -> None:
+        slot = self._vptr_address(builder, obj)
+        zero = ConstantInt(types.LONG, 0)
+        first_entry = builder.gep(
+            info.vtable,
+            [zero, ConstantInt(types.UINT, 1), zero],
+            "vtable.first",
+        )
+        builder.store(first_entry, slot)
+
+    def _vptr_address(self, builder: IRBuilder, obj: Value) -> Value:
+        """The vtable-pointer slot: field 0 of the outermost base."""
+        current = obj
+        while current.type.pointee.is_struct:
+            first = current.type.pointee.fields[0]
+            slot = builder.struct_gep(current, 0, "vptr.path")
+            if first is self.vptr_type:
+                return slot
+            current = slot
+        raise TypeError("object type has no vtable pointer")
+
+    def emit_virtual_call(self, builder: IRBuilder, info: ClassInfo,
+                          obj: Value, method: str, name: str = "") -> Value:
+        """Load the function pointer from the object's vtable, call it."""
+        slot_index = info.methods[method]
+        vtable_first = builder.load(self._vptr_address(builder, obj), "vfns")
+        slot_address = (vtable_first if slot_index == 0 else builder.gep(
+            vtable_first, [ConstantInt(types.LONG, slot_index)], "vslot"
+        ))
+        callee = builder.load(slot_address, "vfn")
+        this = builder.cast(obj, GENERIC_THIS, "this")
+        return builder.call(callee, [this], name)
+
+    def emit_method(self, name: str, body_builder) -> Function:
+        """Define a virtual method: ``body_builder(builder, this_sbyte)``
+        must terminate the function (return an int)."""
+        function = self.module.new_function(
+            self.method_type, self.module.unique_symbol(name),
+            Linkage.INTERNAL, ["this"],
+        )
+        builder = IRBuilder(function.append_block("entry"))
+        body_builder(builder, function.args[0])
+        return function

@@ -1,0 +1,86 @@
+"""C++ exception lowering: the code of paper Figures 2 and 3.
+
+* :func:`build_throw` emits exactly the Figure 3 sequence for
+  ``throw <int>``: allocate the exception object through the runtime,
+  construct the value into it, register it with ``llvm_cxxeh_throw``,
+  then ``unwind`` — "the runtime functions manipulate the thread-local
+  state of the exception handling runtime, but don't actually unwind
+  the stack.  Because the calling code performs the stack unwind, the
+  optimizer has a better view of the control flow".
+
+* :func:`build_try_catch` emits the Figure 2 shape: the protected call
+  becomes an ``invoke`` whose unwind destination runs cleanup code
+  (e.g. a destructor) and/or a catch body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core import types
+from ..core.basicblock import BasicBlock
+from ..core.builder import IRBuilder
+from ..core.module import Function, Module
+from ..core.values import ConstantInt, ConstantPointerNull, Value
+
+_BYTE_PTR = types.pointer(types.SBYTE)
+
+
+def _runtime(module: Module, name: str, fn_type) -> Function:
+    return module.get_or_insert_function(fn_type, name)
+
+
+def build_throw(module: Module, builder: IRBuilder, value: Value,
+                typeid: int) -> None:
+    """Emit ``throw <value>`` (paper Figure 3).
+
+    Allocates the exception object, stores the thrown value into it,
+    registers it with the runtime (object, typeid, destructor — null
+    for scalars), and unwinds the stack.
+    """
+    size = module.data_layout.size_of(value.type)
+    alloc = _runtime(module, "llvm_cxxeh_alloc_exc",
+                     types.function(_BYTE_PTR, [types.UINT]))
+    throw = _runtime(module, "llvm_cxxeh_throw",
+                     types.function(types.VOID,
+                                    [_BYTE_PTR, types.INT, _BYTE_PTR]))
+    storage = builder.call(alloc, [ConstantInt(types.UINT, size)], "exc")
+    typed = builder.cast(storage, types.pointer(value.type), "exc.typed")
+    builder.store(value, typed)
+    builder.call(throw, [storage, ConstantInt(types.INT, typeid),
+                         ConstantPointerNull(_BYTE_PTR)])
+    builder.unwind()
+
+
+def build_try_catch(module: Module, builder: IRBuilder, callee: Value,
+                    args, handler_body: Callable[[IRBuilder], None],
+                    cleanup: Optional[Callable[[IRBuilder], None]] = None,
+                    name: str = "") -> tuple[Value, IRBuilder]:
+    """Emit ``try { call } catch { handler }`` (paper Figure 2).
+
+    The call becomes an ``invoke``; on unwind, ``cleanup`` (destructors)
+    runs first, then ``handler_body``, which must terminate its block
+    (rethrow with ``unwind``, branch somewhere, or return).  Returns the
+    invoke's result and a builder positioned on the normal path.
+    """
+    function = builder.function
+    ok_block = function.append_block("invoke.ok")
+    unwind_block = function.append_block("invoke.unwind")
+    result = builder.invoke(callee, args, ok_block, unwind_block, name)
+    handler = IRBuilder(unwind_block)
+    if cleanup is not None:
+        cleanup(handler)
+    handler_body(handler)
+    if not unwind_block.is_terminated:
+        raise ValueError("exception handler must terminate its block")
+    return result, IRBuilder(ok_block)
+
+
+def current_exception(module: Module, builder: IRBuilder) -> tuple[Value, Value]:
+    """Fetch (object pointer, typeid) of the in-flight exception."""
+    get = _runtime(module, "llvm_cxxeh_get_exc",
+                   types.function(_BYTE_PTR, []))
+    typeid = _runtime(module, "llvm_cxxeh_current_typeid",
+                      types.function(types.INT, []))
+    return (builder.call(get, [], "exc.obj"),
+            builder.call(typeid, [], "exc.typeid"))

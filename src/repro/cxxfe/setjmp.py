@@ -1,0 +1,124 @@
+"""setjmp/longjmp on the invoke/unwind mechanism (paper section 2.4).
+
+"In fact, the same mechanism also supports setjmp and longjmp
+operations in C, allowing these operations to be analyzed and optimized
+in the same way that exception features in other languages are."
+
+The lowering mirrors the C++ one:
+
+* ``longjmp(id, value)`` becomes a runtime call that records the target
+  jump buffer and the value, followed by ``unwind`` — the *calling code*
+  performs the stack unwind, exactly like ``throw``;
+* a ``setjmp`` region turns every call inside it into an ``invoke``
+  whose handler asks the runtime "is the in-flight longjmp aimed at my
+  buffer?"; if yes, control resumes at the setjmp merge point with the
+  longjmp value as the setjmp result; if not, the handler re-``unwind``s
+  so an outer region (or caller) can claim it.
+
+Both coexist cleanly with C++-style exceptions because they share the
+unwinding primitive ("both coexist cleanly in our implementation").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import types
+from ..core.basicblock import BasicBlock
+from ..core.builder import IRBuilder
+from ..core.instructions import AllocaInst
+from ..core.module import Function, Module
+from ..core.values import ConstantInt, Value
+
+
+def _runtime(module: Module, name: str, fn_type) -> Function:
+    return module.get_or_insert_function(fn_type, name)
+
+
+def emit_longjmp(module: Module, builder: IRBuilder, buffer_id: Value,
+                 value: Value) -> None:
+    """``longjmp(id, value)``: record the jump, then unwind the stack."""
+    register = _runtime(module, "__lc_longjmp",
+                        types.function(types.VOID, [types.INT, types.INT]))
+    builder.call(register, [buffer_id, value])
+    builder.unwind()
+
+
+class SetjmpRegion:
+    """An open setjmp region inside a function under construction.
+
+    Usage::
+
+        region = SetjmpRegion.open(module, builder, buffer_id)
+        # ... build the region body with region.builder,
+        #     using region.call(...) for every call ...
+        builder = region.close()
+        result = region.result(builder)   # 0, or the longjmp value
+
+    ``result`` reads the setjmp return value at the merge point:
+    0 when the region was entered normally, the longjmp value when a
+    matching longjmp unwound into it.
+    """
+
+    def __init__(self, module: Module, function: Function,
+                 builder: IRBuilder, buffer_id: Value,
+                 slot: Value, handler: BasicBlock, merge: BasicBlock):
+        self.module = module
+        self.function = function
+        self.builder = builder
+        self.buffer_id = buffer_id
+        self._slot = slot
+        self._handler = handler
+        self._merge = merge
+        self._closed = False
+
+    @classmethod
+    def open(cls, module: Module, builder: IRBuilder,
+             buffer_id: Value) -> "SetjmpRegion":
+        function = builder.function
+        slot = AllocaInst(types.INT, None, "setjmp.val")
+        function.entry_block.insert(0, slot)
+        builder.store(ConstantInt(types.INT, 0), slot)
+
+        handler = function.append_block("setjmp.handler")
+        merge = function.append_block("setjmp.merge")
+
+        # The handler: claim the in-flight longjmp or keep unwinding.
+        catch = _runtime(module, "__lc_longjmp_catch",
+                         types.function(types.INT, [types.INT]))
+        handler_builder = IRBuilder(handler)
+        claimed = handler_builder.call(catch, [buffer_id], "claimed")
+        ours = handler_builder.setge(claimed, ConstantInt(types.INT, 0), "ours")
+        resume = function.append_block("setjmp.resume")
+        rethrow = function.append_block("setjmp.rethrow")
+        handler_builder.cond_br(ours, resume, rethrow)
+        IRBuilder(rethrow).unwind()
+        resume_builder = IRBuilder(resume)
+        resume_builder.store(claimed, slot)
+        resume_builder.br(merge)
+
+        return cls(module, function, builder, buffer_id, slot, handler, merge)
+
+    def call(self, callee: Value, args, name: str = "") -> Value:
+        """A call inside the region: lowered to an invoke whose unwind
+        destination is the region's handler (the section 2.4 rule:
+        "any function call within the try block becomes an invoke")."""
+        if self._closed:
+            raise ValueError("region already closed")
+        normal = self.function.append_block("setjmp.cont")
+        result = self.builder.invoke(callee, args, normal, self._handler, name)
+        self.builder.position_at_end(normal)
+        return result
+
+    def close(self) -> IRBuilder:
+        """End the region: fall through to the merge point."""
+        if self._closed:
+            raise ValueError("region already closed")
+        self._closed = True
+        if not self.builder.block.is_terminated:
+            self.builder.br(self._merge)
+        return IRBuilder(self._merge)
+
+    def result(self, builder: IRBuilder) -> Value:
+        """The setjmp return value at (or after) the merge point."""
+        return builder.load(self._slot, "setjmp.result")

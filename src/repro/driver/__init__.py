@@ -1,0 +1,13 @@
+"""Compilation drivers: the standard pass pipelines and the end-to-end
+compile/link/execute flows of paper Figure 4."""
+
+from .pipelines import (
+    compile_and_link, link_time_optimize, optimize_module,
+    standard_pipeline,
+)
+from .lifelong import LifelongSession
+
+__all__ = [
+    "compile_and_link", "link_time_optimize", "optimize_module",
+    "standard_pipeline", "LifelongSession",
+]

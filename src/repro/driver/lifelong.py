@@ -1,0 +1,74 @@
+"""The lifelong compilation session: the full Figure 4 loop.
+
+Ties the stages together the way the paper's system diagram does:
+
+1. front-ends compile translation units to IR;
+2. the linker + interprocedural optimizer produce the linked program,
+   and bytecode is "saved with the native code";
+3. the code generator adds profiling instrumentation;
+4. end-user runs (the execution engine) gather profile data;
+5. the offline, idle-time reoptimizer consumes the profile and rewrites
+   the preserved IR, ready for the next run.
+
+Because the representation is preserved across all stages, step 5 can
+repeat forever — optimize differently as usage patterns drift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..bitcode import write_bytecode
+from ..core.module import Module
+from ..execution import Interpreter
+from ..profile import (
+    Granularity, OfflineReoptimizer, ProfileData, ProfileInstrumentation,
+    ReoptimizationReport,
+)
+from .pipelines import compile_and_link
+
+
+class RunResult:
+    def __init__(self, exit_value, output: str, steps: int):
+        self.exit_value = exit_value
+        self.output = output
+        self.steps = steps
+
+
+class LifelongSession:
+    """Owns one program through compile, run, profile, reoptimize cycles."""
+
+    def __init__(self, sources: Sequence[str], name: str = "program",
+                 level: int = 2):
+        self.module = compile_and_link(sources, name, level)
+        #: The persistent representation shipped with the executable.
+        self.bytecode = write_bytecode(self.module)
+        instrumentation = ProfileInstrumentation(Granularity.BLOCKS)
+        instrumentation.run_on_module(self.module)
+        self.profile = ProfileData(instrumentation.profile_map)
+        self.reopt_reports: list[ReoptimizationReport] = []
+
+    def run(self, function: str = "main", args: Sequence = (),
+            step_limit: int = 50_000_000) -> RunResult:
+        """One end-user run; profile counters accumulate."""
+        interp = Interpreter(self.module, step_limit=step_limit,
+                             extra_externals=self.profile.externals())
+        exit_value = interp.run(function, args)
+        return RunResult(exit_value, "".join(interp.output), interp.steps)
+
+    def run_uninstrumented(self, function: str = "main",
+                           args: Sequence = (),
+                           step_limit: int = 50_000_000) -> RunResult:
+        """A run with counters ignored (for unbiased step counting)."""
+        interp = Interpreter(self.module, step_limit=step_limit,
+                             extra_externals={"__profile_count":
+                                              lambda i, a: None})
+        exit_value = interp.run(function, args)
+        return RunResult(exit_value, "".join(interp.output), interp.steps)
+
+    def reoptimize(self, **kwargs) -> ReoptimizationReport:
+        """The idle-time pass: consume the accumulated profile."""
+        report = OfflineReoptimizer(**kwargs).run(self.module, self.profile)
+        self.reopt_reports.append(report)
+        self.bytecode = write_bytecode(self.module)
+        return report

@@ -1,0 +1,109 @@
+"""Standard optimization pipelines (the ``-O`` levels).
+
+Mirrors the paper's architecture: per-translation-unit optimization at
+compile time (section 3.2: stack promotion and scalar expansion build
+SSA, then module-level cleanups), and aggressive interprocedural
+optimization at link time (section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.module import Module
+from ..frontend import compile_source
+from ..linker import link_modules
+from ..transforms import (
+    AggressiveDCE, ConstantPropagation, DeadCodeElimination, GVN,
+    InstCombine, LICM, PassManager, PromoteMem2Reg, Reassociate, SCCP,
+    ScalarReplAggregates, SimplifyCFG, TailRecursionElimination,
+)
+from ..transforms.ipo import (
+    DeadArgumentElimination, DeadGlobalElimination, Devirtualize,
+    FunctionInlining, HeapToStackPromotion, Internalize,
+    IPConstantPropagation, PruneExceptionHandlers,
+)
+
+
+def standard_pipeline(level: int = 2, verify_each: bool = False) -> PassManager:
+    """The per-module pipeline for an optimization level (0-3)."""
+    manager = PassManager(verify_each=verify_each)
+    if level <= 0:
+        return manager
+    # SSA construction as the paper prescribes: scalar expansion, then
+    # stack promotion, then cleanups over real SSA.
+    manager.add(SimplifyCFG())
+    manager.add(ScalarReplAggregates())
+    manager.add(PromoteMem2Reg())
+    manager.add(InstCombine())
+    manager.add(SimplifyCFG())
+    manager.add(ConstantPropagation())
+    manager.add(DeadCodeElimination())
+    if level >= 2:
+        manager.add(SCCP())
+        manager.add(SimplifyCFG())
+        manager.add(Reassociate())
+        manager.add(GVN())
+        manager.add(LICM())
+        manager.add(InstCombine())
+        manager.add(AggressiveDCE())
+        manager.add(SimplifyCFG())
+    if level >= 3:
+        manager.add(TailRecursionElimination())
+        manager.add(PromoteMem2Reg())
+        manager.add(GVN())
+        manager.add(AggressiveDCE())
+        manager.add(SimplifyCFG())
+    return manager
+
+
+def optimize_module(module: Module, level: int = 2,
+                    verify_each: bool = False) -> Module:
+    """Run the standard pipeline in place; returns the module."""
+    standard_pipeline(level, verify_each).run(module)
+    return module
+
+
+def link_time_optimize(module: Module, level: int = 2,
+                       internalize: bool = True,
+                       preserved: Sequence[str] = ("main",),
+                       verify_each: bool = False) -> Module:
+    """The link-time interprocedural optimizer (paper section 3.3)."""
+    manager = PassManager(verify_each=verify_each)
+    if internalize:
+        manager.add(Internalize(preserved))
+    manager.add(Devirtualize())
+    manager.add(IPConstantPropagation())
+    manager.add(FunctionInlining())
+    manager.add(DeadArgumentElimination())
+    manager.add(DeadGlobalElimination())
+    manager.add(PruneExceptionHandlers())
+    manager.add(HeapToStackPromotion())
+    manager.run(module)
+    if level > 0:
+        # A scalar cleanup round over the post-IPO bodies, then one more
+        # IPO round to exploit what the cleanup exposed.
+        optimize_module(module, level, verify_each)
+        manager.run(module)
+        optimize_module(module, min(level, 2), verify_each)
+    return module
+
+
+def compile_and_link(sources: Iterable[str], name: str = "program",
+                     level: int = 2, lto: bool = True,
+                     verify_each: bool = False) -> Module:
+    """Front-end + per-module optimization + link (+ link-time IPO).
+
+    ``sources`` are LC translation units.  This is the paper's Figure 4
+    static path: front-ends emit IR, the linker combines it, and the
+    interprocedural optimizer runs over the whole program.
+    """
+    modules = []
+    for index, source in enumerate(sources):
+        module = compile_source(source, f"{name}.tu{index}")
+        optimize_module(module, level, verify_each)
+        modules.append(module)
+    linked = link_modules(modules, name)
+    if lto:
+        link_time_optimize(linked, level, verify_each=verify_each)
+    return linked

@@ -1,0 +1,283 @@
+"""The runtime library: external functions available to interpreted code.
+
+The paper keeps language-specific runtime details out of the
+representation and in a runtime library; this module is that library
+for the execution engine.  It covers basic C I/O (``printf``-family),
+string/memory helpers, varargs support, a deterministic ``clock`` (the
+interpreter's step counter), and the minimal exception-object runtime
+that the C++-style lowering of paper Figure 3 calls into.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..core import types
+from .memory import MemoryFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interpreter import Interpreter
+
+
+def default_externals() -> dict[str, Callable]:
+    return {
+        # -- output --------------------------------------------------------
+        "printf": _printf,
+        "puts": _puts,
+        "putchar": _putchar,
+        "print_int": _print_int,
+        "print_long": _print_int,
+        "print_char": _print_char,
+        "print_double": _print_double,
+        "print_str": _print_str,
+        # -- process -------------------------------------------------------
+        "exit": _exit,
+        "abort": _abort,
+        "clock": _clock,
+        # -- strings and memory ----------------------------------------------
+        "strlen": _strlen,
+        "strcmp": _strcmp,
+        "strcpy": _strcpy,
+        "memcpy": _memcpy,
+        "memset": _memset,
+        # -- varargs -----------------------------------------------------------
+        "llvm.va_start": _va_start,
+        "llvm.va_end": _va_end,
+        # -- the C++-EH-style runtime of paper Figure 3 -------------------------
+        "llvm_cxxeh_alloc_exc": _eh_alloc,
+        "llvm_cxxeh_throw": _eh_throw,
+        "llvm_cxxeh_get_exc": _eh_get,
+        "llvm_cxxeh_current_typeid": _eh_typeid,
+        "llvm_cxxeh_free_exc": _eh_free,
+        # -- setjmp/longjmp on the same unwinding mechanism ----------------------
+        "__lc_longjmp": _longjmp_register,
+        "__lc_longjmp_catch": _longjmp_catch,
+        # -- SAFECode bounds-check runtime ----------------------------------------
+        "__rt_bounds_fail": _bounds_fail,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Output
+# ---------------------------------------------------------------------------
+
+def _emit(interp: "Interpreter", text: str) -> None:
+    interp.output.append(text)
+
+
+def _format_printf(interp: "Interpreter", fmt: bytes, args: list) -> str:
+    result = []
+    index = 0
+    arg_cursor = 0
+    while index < len(fmt):
+        char = fmt[index:index + 1]
+        if char != b"%":
+            result.append(char.decode("latin-1"))
+            index += 1
+            continue
+        index += 1
+        # Skip width/flags; honour 'l' length modifiers transparently.
+        spec_start = index
+        while index < len(fmt) and fmt[index:index + 1] in b"-+ 0123456789.l":
+            index += 1
+        spec = fmt[spec_start:index].decode("latin-1")
+        conv = fmt[index:index + 1].decode("latin-1")
+        index += 1
+        if conv == "%":
+            result.append("%")
+            continue
+        arg = args[arg_cursor]
+        arg_cursor += 1
+        width_spec = spec.replace("l", "")
+        if conv in "du":
+            result.append(("%" + width_spec + "d") % int(arg))
+        elif conv == "x":
+            result.append(("%" + width_spec + "x") % (int(arg) & 0xFFFFFFFFFFFFFFFF))
+        elif conv in "fge":
+            result.append(("%" + width_spec + conv) % float(arg))
+        elif conv == "c":
+            result.append(chr(int(arg) & 0xFF))
+        elif conv == "s":
+            result.append(interp.memory.read_cstring(int(arg)).decode("latin-1"))
+        elif conv == "p":
+            result.append(hex(int(arg)))
+        else:
+            raise MemoryFault(f"printf: unsupported conversion %{conv}")
+    return "".join(result)
+
+
+def _printf(interp: "Interpreter", args: list) -> int:
+    fmt = interp.memory.read_cstring(args[0])
+    text = _format_printf(interp, fmt, args[1:])
+    _emit(interp, text)
+    return len(text)
+
+
+def _puts(interp: "Interpreter", args: list) -> int:
+    text = interp.memory.read_cstring(args[0]).decode("latin-1")
+    _emit(interp, text + "\n")
+    return len(text) + 1
+
+
+def _putchar(interp: "Interpreter", args: list) -> int:
+    _emit(interp, chr(args[0] & 0xFF))
+    return args[0]
+
+
+def _print_int(interp: "Interpreter", args: list) -> int:
+    _emit(interp, f"{args[0]}\n")
+    return 0
+
+
+def _print_char(interp: "Interpreter", args: list) -> int:
+    _emit(interp, chr(args[0] & 0xFF))
+    return 0
+
+
+def _print_double(interp: "Interpreter", args: list) -> int:
+    _emit(interp, f"{float(args[0]):.6f}\n")
+    return 0
+
+
+def _print_str(interp: "Interpreter", args: list) -> int:
+    _emit(interp, interp.memory.read_cstring(args[0]).decode("latin-1") + "\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Process control
+# ---------------------------------------------------------------------------
+
+def _exit(interp: "Interpreter", args: list):
+    from .interpreter import ExitCalled
+
+    raise ExitCalled(args[0] if args else 0)
+
+
+def _abort(interp: "Interpreter", args: list):
+    from .interpreter import ExecutionError
+
+    raise ExecutionError("abort() called")
+
+
+def _clock(interp: "Interpreter", args: list) -> int:
+    """Deterministic 'time': the interpreter's step counter."""
+    return interp.steps
+
+
+# ---------------------------------------------------------------------------
+# Strings and memory
+# ---------------------------------------------------------------------------
+
+def _strlen(interp: "Interpreter", args: list) -> int:
+    return len(interp.memory.read_cstring(args[0]))
+
+
+def _strcmp(interp: "Interpreter", args: list) -> int:
+    a = interp.memory.read_cstring(args[0])
+    b = interp.memory.read_cstring(args[1])
+    return (a > b) - (a < b)
+
+
+def _strcpy(interp: "Interpreter", args: list) -> int:
+    data = interp.memory.read_cstring(args[1])
+    interp.memory.write_bytes(args[0], data + b"\0")
+    return args[0]
+
+
+def _memcpy(interp: "Interpreter", args: list) -> int:
+    dest, src, count = args[0], args[1], args[2]
+    interp.memory.write_bytes(dest, interp.memory.read_bytes(src, count))
+    return dest
+
+
+def _memset(interp: "Interpreter", args: list) -> int:
+    dest, byte, count = args[0], args[1], args[2]
+    interp.memory.write_bytes(dest, bytes([byte & 0xFF]) * count)
+    return dest
+
+
+# ---------------------------------------------------------------------------
+# Varargs
+# ---------------------------------------------------------------------------
+
+def _va_start(interp: "Interpreter", args: list) -> None:
+    """Write the current frame's vararg area into the va_list slot.
+
+    The frame is found by walking the interpreter's conventions: the
+    caller stored its va_area when the frame was created.
+    """
+    # The topmost frame executing is the vararg function itself; the
+    # interpreter exposes it via the pending-call chain.  We reach it
+    # through the memory of the slot instead: the external runs in the
+    # context of the active frame, whose va_area the interpreter stashed
+    # in `current_va_area`.
+    interp.memory.store(args[0], types.pointer(types.SBYTE), interp.current_va_area)
+
+
+def _va_end(interp: "Interpreter", args: list) -> None:
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Exception-object runtime (paper Figure 3)
+# ---------------------------------------------------------------------------
+#
+# The runtime "manipulates the thread-local state of the exception
+# handling runtime, but doesn't actually unwind the stack.  Because the
+# calling code performs the stack unwind, the optimizer has a better
+# view of the control flow of the function".
+
+def _eh_alloc(interp: "Interpreter", args: list) -> int:
+    size = args[0]
+    return interp.memory.allocate(max(size, 1), kind="heap")
+
+
+def _eh_throw(interp: "Interpreter", args: list) -> None:
+    # args: exception object, typeid, destructor (ignored here).
+    interp.eh_state = {"object": args[0], "typeid": args[1]}
+
+
+def _eh_get(interp: "Interpreter", args: list) -> int:
+    state = getattr(interp, "eh_state", None)
+    return state["object"] if state else 0
+
+
+def _eh_typeid(interp: "Interpreter", args: list) -> int:
+    state = getattr(interp, "eh_state", None)
+    return state["typeid"] if state else 0
+
+
+def _eh_free(interp: "Interpreter", args: list) -> None:
+    state = getattr(interp, "eh_state", None)
+    if state and state["object"]:
+        interp.memory.free(state["object"])
+    interp.eh_state = None
+
+
+# ---------------------------------------------------------------------------
+# setjmp/longjmp runtime (paper section 2.4: "the same mechanism also
+# supports setjmp and longjmp")
+# ---------------------------------------------------------------------------
+
+def _longjmp_register(interp: "Interpreter", args: list) -> None:
+    """Record the in-flight longjmp; the IR performs the unwind."""
+    interp.longjmp_state = {"id": args[0], "value": args[1]}
+
+
+def _longjmp_catch(interp: "Interpreter", args: list) -> int:
+    """Claim the longjmp if it targets this buffer; -1 otherwise."""
+    state = getattr(interp, "longjmp_state", None)
+    if state is not None and state["id"] == args[0]:
+        interp.longjmp_state = None
+        return state["value"]
+    return -1
+
+
+def _bounds_fail(interp: "Interpreter", args: list):
+    """SAFECode's trap: a bounds violation is a loud, defined fault."""
+    from .interpreter import ExecutionError
+
+    raise ExecutionError(
+        f"array index {args[0]} out of bounds (size {args[1]})"
+    )

@@ -1,0 +1,463 @@
+"""The Execution Engine: an interpreter for the IR (paper section 3.4).
+
+Stands in for the JIT: it executes one function at a time over the
+in-memory representation, with a flat byte-addressed memory, external
+(runtime library) functions, and full ``invoke``/``unwind`` stack
+unwinding semantics — "when the program executes an unwind instruction,
+it logically unwinds the stack until it removes an activation record
+created by an invoke, then transfers control to the basic block
+specified by the invoke".
+
+The interpreter shares its arithmetic with the constant folder
+(:mod:`repro.core.constfold`), so optimization can never change what a
+program computes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..core import constfold, types
+from ..core.basicblock import BasicBlock
+from ..core.constfold import ArithmeticFault
+from ..core.instructions import (
+    AllocaInst, BinaryOperator, BranchInst, CallInst, CastInst, FreeInst,
+    GetElementPtrInst, Instruction, InvokeInst, LoadInst, MallocInst,
+    Opcode, PhiNode, ReturnInst, ShiftInst, StoreInst, SwitchInst,
+    UnwindInst, VAArgInst,
+)
+from ..core.module import Function, GlobalVariable, Module
+from ..core.values import (
+    Argument, Constant, ConstantAggregateZero, ConstantArray, ConstantBool,
+    ConstantExpr, ConstantFP, ConstantInt, ConstantPointerNull,
+    ConstantString, ConstantStruct, UndefValue, Value,
+)
+from .memory import Memory, MemoryFault
+
+
+class ExecutionError(Exception):
+    """Base for runtime faults the interpreter raises."""
+
+
+class UnhandledUnwind(ExecutionError):
+    """``unwind`` executed with no dynamically-enclosing ``invoke``."""
+
+
+class StepLimitExceeded(ExecutionError):
+    """The configured instruction budget ran out."""
+
+
+class UndefinedFunction(ExecutionError):
+    """Call to a declaration with no registered external implementation."""
+
+
+class ExitCalled(Exception):
+    """Raised by the ``exit`` external to stop the program."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class _Frame:
+    __slots__ = ("function", "block", "index", "registers", "allocas",
+                 "prev_block", "pending_call", "va_area")
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.block: BasicBlock = function.entry_block
+        self.index = 0
+        self.registers: dict[int, object] = {}
+        self.allocas: list[int] = []
+        self.prev_block: Optional[BasicBlock] = None
+        #: The call/invoke instruction this frame is suspended at.
+        self.pending_call: Optional[Instruction] = None
+        #: Address of the varargs area for vararg functions.
+        self.va_area: int = 0
+
+
+class Interpreter:
+    """Executes functions of one module."""
+
+    def __init__(self, module: Module, step_limit: int = 50_000_000,
+                 extra_externals: Optional[dict[str, Callable]] = None):
+        self.module = module
+        self.memory = Memory(module.data_layout)
+        self.steps = 0
+        self.step_limit = step_limit
+        self.output: list[str] = []
+        self.global_addresses: dict[int, int] = {}
+        #: Hook called as fn(interpreter, block) at each block entry
+        #: (used by the profiling runtime).
+        self.block_hook: Optional[Callable] = None
+        #: Set by the JIT engine: called with a declaration about to be
+        #: executed, to materialise its body from bytecode on demand.
+        self.lazy_loader: Optional[Callable] = None
+        from .externals import default_externals
+
+        self.externals: dict[str, Callable] = default_externals()
+        if extra_externals:
+            self.externals.update(extra_externals)
+        #: Thread-local exception state for the cxxeh runtime externals.
+        self.eh_state = None
+        #: The active frame's varargs area, visible to ``llvm.va_start``.
+        self.current_va_area = 0
+        self._initialize_globals()
+
+    # ==================================================================
+    # Globals
+    # ==================================================================
+
+    def _initialize_globals(self) -> None:
+        layout = self.module.data_layout
+        for global_var in self.module.globals.values():
+            size = layout.size_of(global_var.value_type)
+            address = self.memory.allocate(size, kind="global")
+            self.global_addresses[id(global_var)] = address
+        for global_var in self.module.globals.values():
+            initializer = global_var.initializer
+            if initializer is not None:
+                address = self.global_addresses[id(global_var)]
+                self._write_constant(address, initializer)
+                if global_var.is_constant:
+                    alloc_id = address >> 30
+                    self.memory.allocations[alloc_id].frozen = True
+
+    def _write_constant(self, address: int, constant: Constant) -> None:
+        layout = self.module.data_layout
+        ty = constant.type
+        if isinstance(constant, ConstantString):
+            self.memory.write_bytes(address, constant.data)
+            return
+        if isinstance(constant, ConstantAggregateZero):
+            return  # memory is already zeroed
+        if isinstance(constant, ConstantArray):
+            element_size = layout.size_of(ty.element)  # type: ignore[attr-defined]
+            for index, element in enumerate(constant.elements):
+                self._write_constant(address + index * element_size, element)
+            return
+        if isinstance(constant, ConstantStruct):
+            for index, field in enumerate(constant.fields_values):
+                offset = layout.field_offset(ty, index)
+                self._write_constant(address + offset, field)
+            return
+        self.memory.store(address, ty, self.constant_value(constant))
+
+    # ==================================================================
+    # Value evaluation
+    # ==================================================================
+
+    def constant_value(self, constant: Constant):
+        if isinstance(constant, ConstantInt):
+            return constant.value
+        if isinstance(constant, ConstantBool):
+            return constant.value
+        if isinstance(constant, ConstantFP):
+            return constant.value
+        if isinstance(constant, ConstantPointerNull):
+            return 0
+        if isinstance(constant, UndefValue):
+            ty = constant.type
+            if ty.is_floating:
+                return 0.0
+            if ty.is_bool:
+                return False
+            return 0
+        if isinstance(constant, Function):
+            return self.memory.function_address(constant)
+        if isinstance(constant, GlobalVariable):
+            return self.global_addresses[id(constant)]
+        if isinstance(constant, ConstantExpr):
+            if constant.opcode == "cast":
+                inner = self.constant_value(constant.operands[0])
+                return constfold.eval_cast(
+                    constant.operands[0].type, constant.type, inner
+                )
+            base = self.constant_value(constant.operands[0])
+            return base + self._gep_offset(
+                constant.operands[0].type, constant.operands[1:]
+            )
+        raise ExecutionError(f"cannot evaluate constant {constant!r}")
+
+    def _gep_offset(self, pointer_type, indices: Sequence[Value],
+                    frame: Optional[_Frame] = None) -> int:
+        layout = self.module.data_layout
+        offset = 0
+        current = pointer_type.pointee
+        for position, index in enumerate(indices):
+            index_value = (self._value(frame, index) if frame is not None
+                           else self.constant_value(index))
+            if position == 0:
+                offset += index_value * layout.size_of(current)
+            elif current.is_struct:
+                offset += layout.field_offset(current, index_value)
+                current = current.fields[index_value]
+            else:  # array
+                offset += index_value * layout.size_of(current.element)
+                current = current.element
+        return offset
+
+    def _value(self, frame: Optional[_Frame], value: Value):
+        if isinstance(value, (Instruction, Argument)):
+            if frame is None:
+                raise ExecutionError("register value needed outside a frame")
+            try:
+                return frame.registers[id(value)]
+            except KeyError:
+                raise ExecutionError(
+                    f"read of unset register {value.name!r} "
+                    f"(undefined behaviour made loud)"
+                ) from None
+        return self.constant_value(value)  # type: ignore[arg-type]
+
+    # ==================================================================
+    # Running
+    # ==================================================================
+
+    def run(self, function_name: str = "main", args: Sequence = ()) :
+        """Run a function by name with Python-level argument values."""
+        function = self.module.functions.get(function_name)
+        if function is None or function.is_declaration:
+            raise ExecutionError(f"no defined function {function_name!r}")
+        try:
+            return self._run_function(function, list(args))
+        except ExitCalled as exit_call:
+            return exit_call.code
+
+    def _run_function(self, function: Function, args: list):
+        stack: list[_Frame] = []
+        frame = self._make_frame(function, args)
+        stack.append(frame)
+        result = None
+        while stack:
+            frame = stack[-1]
+            inst = frame.block.instructions[frame.index]
+            self.steps += 1
+            if self.steps > self.step_limit:
+                raise StepLimitExceeded(
+                    f"exceeded {self.step_limit} interpreted instructions"
+                )
+            outcome = self._execute(stack, frame, inst)
+            if outcome is not _CONTINUE:
+                result = outcome
+        return result
+
+    def _make_frame(self, function: Function, args: list) -> _Frame:
+        frame = _Frame(function)
+        fixed = len(function.args)
+        for formal, actual in zip(function.args, args):
+            frame.registers[id(formal)] = actual
+        if function.is_vararg:
+            extra = args[fixed:]
+            area = self.memory.allocate(max(8 * len(extra), 8), kind="stack")
+            frame.va_area = area
+            for slot, value in enumerate(extra):
+                self._store_va_slot(area + 8 * slot, value)
+            frame.allocas.append(area)
+        if self.block_hook is not None:
+            self.block_hook(self, frame.block)
+        return frame
+
+    def _store_va_slot(self, address: int, value) -> None:
+        if isinstance(value, float):
+            self.memory.store(address, types.DOUBLE, value)
+        elif isinstance(value, bool):
+            self.memory.store(address, types.ULONG, int(value))
+        else:
+            self.memory.store(address, types.ULONG, value & ((1 << 64) - 1))
+
+    # -- control transfer helpers ----------------------------------------------
+
+    def _enter_block(self, frame: _Frame, dest: BasicBlock) -> None:
+        frame.prev_block = frame.block
+        frame.block = dest
+        frame.index = 0
+        # Phi nodes read their incoming values *simultaneously*.
+        phis = []
+        for inst in dest.instructions:
+            if isinstance(inst, PhiNode):
+                incoming = inst.incoming_for_block(frame.prev_block)
+                if incoming is None:
+                    raise ExecutionError(
+                        f"phi {inst.name!r} has no entry for predecessor "
+                        f"{frame.prev_block.name!r}"
+                    )
+                phis.append((inst, self._value(frame, incoming)))
+            else:
+                break
+        for phi, value in phis:
+            frame.registers[id(phi)] = value
+        frame.index = len(phis)
+        if self.block_hook is not None:
+            self.block_hook(self, dest)
+
+    def _pop_frame(self, stack: list[_Frame]) -> _Frame:
+        frame = stack.pop()
+        for address in frame.allocas:
+            self.memory.release(address)
+        return frame
+
+    # -- instruction dispatch -----------------------------------------------------
+
+    def _execute(self, stack: list[_Frame], frame: _Frame, inst: Instruction):
+        opcode = inst.opcode
+        if isinstance(inst, BinaryOperator):
+            lhs = self._value(frame, inst.operands[0])
+            rhs = self._value(frame, inst.operands[1])
+            frame.registers[id(inst)] = constfold.eval_binary(
+                opcode, inst.operands[0].type, lhs, rhs
+            )
+            frame.index += 1
+            return _CONTINUE
+        if isinstance(inst, LoadInst):
+            address = self._value(frame, inst.pointer)
+            frame.registers[id(inst)] = self.memory.load(address, inst.type)
+            frame.index += 1
+            return _CONTINUE
+        if isinstance(inst, StoreInst):
+            address = self._value(frame, inst.pointer)
+            self.memory.store(address, inst.value.type,
+                              self._value(frame, inst.value))
+            frame.index += 1
+            return _CONTINUE
+        if isinstance(inst, GetElementPtrInst):
+            base = self._value(frame, inst.pointer)
+            if base == 0:
+                raise MemoryFault("getelementptr on a null pointer")
+            offset = self._gep_offset(inst.pointer.type, inst.indices, frame)
+            frame.registers[id(inst)] = base + offset
+            frame.index += 1
+            return _CONTINUE
+        if isinstance(inst, BranchInst):
+            if inst.is_conditional:
+                taken = self._value(frame, inst.condition)
+                dest = inst.operands[1] if taken else inst.operands[2]
+            else:
+                dest = inst.operands[0]
+            self._enter_block(frame, dest)
+            return _CONTINUE
+        if isinstance(inst, PhiNode):
+            # Phis are handled at block entry; reaching one here means
+            # the function was entered at a block with phis (impossible
+            # for verified IR).
+            raise ExecutionError("phi executed outside block entry")
+        if isinstance(inst, CastInst):
+            value = self._value(frame, inst.value)
+            frame.registers[id(inst)] = constfold.eval_cast(
+                inst.value.type, inst.type, value
+            )
+            frame.index += 1
+            return _CONTINUE
+        if isinstance(inst, (CallInst, InvokeInst)):
+            return self._execute_call(stack, frame, inst)
+        if isinstance(inst, ReturnInst):
+            value = (self._value(frame, inst.return_value)
+                     if inst.return_value is not None else None)
+            self._pop_frame(stack)
+            if not stack:
+                return value
+            caller = stack[-1]
+            call = caller.pending_call
+            caller.pending_call = None
+            if not call.type.is_void:
+                caller.registers[id(call)] = value
+            if isinstance(call, InvokeInst):
+                self._enter_block(caller, call.normal_dest)
+            else:
+                caller.index += 1
+            return _CONTINUE
+        if isinstance(inst, UnwindInst):
+            return self._execute_unwind(stack)
+        if isinstance(inst, SwitchInst):
+            selector = self._value(frame, inst.value)
+            dest = inst.default_dest
+            for case_value, case_dest in inst.cases:
+                if self._value(frame, case_value) == selector:
+                    dest = case_dest
+                    break
+            self._enter_block(frame, dest)
+            return _CONTINUE
+        if isinstance(inst, ShiftInst):
+            value = self._value(frame, inst.value)
+            amount = self._value(frame, inst.amount)
+            frame.registers[id(inst)] = constfold.eval_shift(
+                opcode, inst.type, value, amount
+            )
+            frame.index += 1
+            return _CONTINUE
+        if isinstance(inst, (MallocInst, AllocaInst)):
+            count = 1
+            if inst.array_size is not None:
+                count = self._value(frame, inst.array_size)
+            size = self.module.data_layout.size_of(inst.allocated_type) * count
+            kind = "heap" if isinstance(inst, MallocInst) else "stack"
+            address = self.memory.allocate(size, kind=kind)
+            if kind == "stack":
+                frame.allocas.append(address)
+            frame.registers[id(inst)] = address
+            frame.index += 1
+            return _CONTINUE
+        if isinstance(inst, FreeInst):
+            self.memory.free(self._value(frame, inst.pointer))
+            frame.index += 1
+            return _CONTINUE
+        if isinstance(inst, VAArgInst):
+            slot = self._value(frame, inst.valist)
+            cursor = self.memory.load(slot, types.pointer(types.SBYTE))
+            value = self.memory.load(cursor, inst.type)
+            self.memory.store(slot, types.pointer(types.SBYTE), cursor + 8)
+            frame.registers[id(inst)] = value
+            frame.index += 1
+            return _CONTINUE
+        raise ExecutionError(f"cannot execute {inst!r}")
+
+    def _execute_call(self, stack: list[_Frame], frame: _Frame,
+                      inst: Instruction):
+        callee_value = inst.operands[0]
+        args = (inst.operands[1:-2] if isinstance(inst, InvokeInst)
+                else inst.operands[1:])
+        arg_values = [self._value(frame, a) for a in args]
+        if isinstance(callee_value, Function):
+            callee = callee_value
+        else:
+            address = self._value(frame, callee_value)
+            callee = self.memory.function_at(address)
+        if callee.is_declaration and self.lazy_loader is not None:
+            self.lazy_loader(callee)
+        if callee.is_declaration:
+            external = self.externals.get(callee.name)
+            if external is None:
+                raise UndefinedFunction(
+                    f"call to undefined external {callee.name!r}"
+                )
+            self.current_va_area = frame.va_area
+            result = external(self, arg_values)
+            if not inst.type.is_void:
+                frame.registers[id(inst)] = result
+            if isinstance(inst, InvokeInst):
+                self._enter_block(frame, inst.normal_dest)
+            else:
+                frame.index += 1
+            return _CONTINUE
+        frame.pending_call = inst
+        stack.append(self._make_frame(callee, arg_values))
+        return _CONTINUE
+
+    def _execute_unwind(self, stack: list[_Frame]):
+        # Pop the unwinding frame, then keep popping until a frame
+        # suspended at an invoke is found; control resumes at its
+        # unwind destination.
+        self._pop_frame(stack)
+        while stack:
+            frame = stack[-1]
+            call = frame.pending_call
+            frame.pending_call = None
+            if isinstance(call, InvokeInst):
+                self._enter_block(frame, call.unwind_dest)
+                return _CONTINUE
+            self._pop_frame(stack)
+        raise UnhandledUnwind("unwind reached the top of the stack")
+
+
+#: Sentinel: instruction executed, keep stepping.
+_CONTINUE = object()

@@ -1,0 +1,94 @@
+"""The just-in-time Execution Engine (paper section 3.4).
+
+"Alternatively, a just-in-time Execution Engine can be used which
+invokes the appropriate code generator at runtime, translating one
+function at a time for execution."
+
+This engine loads a *bytecode* image and materialises function bodies
+lazily: a function is decoded from the binary representation the first
+time it is about to run (our "code generation" step is IR
+materialisation — the interpreter is the back end).  Functions never
+reached stay undecoded, which is the property the JIT design buys.
+
+It can also insert the same profiling instrumentation as the offline
+code generator ("The JIT translator can also insert the same
+instrumentation"), so the lifelong-optimization loop works identically
+in both modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..bitcode.reader import read_bytecode_lazy
+from ..core.module import Function
+from .interpreter import Interpreter
+
+
+class JITStats:
+    def __init__(self):
+        self.functions_in_image = 0
+        self.functions_materialized = 0
+
+
+class JITEngine:
+    """Function-at-a-time lazy execution of a bytecode image."""
+
+    def __init__(self, bytecode: bytes, step_limit: int = 50_000_000,
+                 instrument: bool = False, extra_externals=None):
+        self.module, self._decoder = read_bytecode_lazy(bytecode)
+        self.stats = JITStats()
+        self.stats.functions_in_image = len(self._decoder.pending_bodies)
+        self.profile = None
+        externals = dict(extra_externals or {})
+        if instrument:
+            from ..profile import Granularity, ProfileData, ProfileInstrumentation
+
+            self._instrumentation = ProfileInstrumentation(Granularity.BLOCKS)
+            self.profile = ProfileData(self._instrumentation.profile_map)
+            externals.update(self.profile.externals())
+        else:
+            self._instrumentation = None
+        self.interpreter = Interpreter(self.module, step_limit=step_limit,
+                                       extra_externals=externals)
+        self.interpreter.lazy_loader = self._materialize
+
+    # -- lazy materialisation -------------------------------------------------
+
+    def _materialize(self, function: Function) -> bool:
+        """Decode (and instrument) one function on first call."""
+        if not self._decoder.materialize(function):
+            return False
+        self.stats.functions_materialized += 1
+        if self._instrumentation is not None:
+            counter_fn = self.module.get_or_insert_function(
+                _counter_type(), "__profile_count"
+            )
+            self._instrumentation._instrument_function(function, counter_fn)
+        return True
+
+    def materialized(self, name: str) -> bool:
+        """Has this function's body been decoded yet?"""
+        return name not in self._decoder.pending_bodies
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, function: str = "main", args: Sequence = ()):
+        target = self.module.functions.get(function)
+        if target is not None and target.is_declaration:
+            self._materialize(target)
+        return self.interpreter.run(function, args)
+
+    @property
+    def output(self) -> list[str]:
+        return self.interpreter.output
+
+    @property
+    def steps(self) -> int:
+        return self.interpreter.steps
+
+
+def _counter_type():
+    from ..core import types
+
+    return types.function(types.VOID, [types.UINT])

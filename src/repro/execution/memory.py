@@ -1,0 +1,180 @@
+"""The execution engine's memory: a flat, byte-addressed address space.
+
+Pointers at runtime are plain integers, so every pointer trick the
+representation permits — casting to ``long`` and back, ``char*``
+arithmetic through custom allocators, storing pointers in integer
+fields — behaves like it would on a real machine.  Addresses encode an
+allocation id in the high bits and a byte offset in the low bits;
+arithmetic within an allocation stays inside the low bits, and any
+access outside an allocation's bounds faults (like a segfault, but
+deterministic and catchable by tests).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Optional
+
+from ..core import types
+from ..core.datalayout import DataLayout
+from ..core.types import Type
+
+#: Bits reserved for the byte offset within one allocation (1 GiB max).
+OFFSET_BITS = 30
+OFFSET_MASK = (1 << OFFSET_BITS) - 1
+
+
+class MemoryFault(Exception):
+    """An out-of-bounds, unmapped, or misused memory access."""
+
+
+class Allocation:
+    __slots__ = ("data", "frozen", "kind")
+
+    def __init__(self, size: int, kind: str):
+        self.data = bytearray(size)
+        self.frozen = False  # constants become read-only after init
+        self.kind = kind     # 'global' | 'heap' | 'stack' | 'code'
+
+
+class Memory:
+    """The address space: allocations, loads/stores, function addresses."""
+
+    def __init__(self, data_layout: DataLayout):
+        self.layout = data_layout
+        self.allocations: dict[int, Allocation] = {}
+        self._next_id = 1  # id 0 => the null "allocation"
+        #: function address -> Function (code is not byte-addressable).
+        self.functions_by_address: dict[int, object] = {}
+        self._function_addresses: dict[str, int] = {}
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, size: int, kind: str = "heap") -> int:
+        if size < 0 or size > OFFSET_MASK:
+            raise MemoryFault(f"allocation of {size} bytes is out of range")
+        alloc_id = self._next_id
+        self._next_id += 1
+        self.allocations[alloc_id] = Allocation(max(size, 1), kind)
+        return alloc_id << OFFSET_BITS
+
+    def free(self, address: int) -> None:
+        alloc_id, offset = self._split(address)
+        allocation = self.allocations.get(alloc_id)
+        if allocation is None:
+            raise MemoryFault(f"free of unmapped address {address:#x}")
+        if offset != 0:
+            raise MemoryFault("free of an interior pointer")
+        if allocation.kind != "heap":
+            raise MemoryFault(f"free of non-heap memory ({allocation.kind})")
+        del self.allocations[alloc_id]
+
+    def release(self, address: int) -> None:
+        """Free a stack allocation on function return."""
+        alloc_id = address >> OFFSET_BITS
+        self.allocations.pop(alloc_id, None)
+
+    def function_address(self, function) -> int:
+        """A stable, fake "code address" for a function value."""
+        address = self._function_addresses.get(function.name)
+        if address is None:
+            address = self.allocate(1, kind="code")
+            self._function_addresses[function.name] = address
+            self.functions_by_address[address] = function
+        return address
+
+    def function_at(self, address: int):
+        function = self.functions_by_address.get(address)
+        if function is None:
+            raise MemoryFault(f"call through bad function pointer {address:#x}")
+        return function
+
+    # -- access ------------------------------------------------------------------
+
+    def _split(self, address: int) -> tuple[int, int]:
+        return address >> OFFSET_BITS, address & OFFSET_MASK
+
+    def _chunk(self, address: int, size: int, writing: bool) -> tuple[Allocation, int]:
+        if address == 0:
+            raise MemoryFault("null pointer dereference")
+        alloc_id, offset = self._split(address)
+        allocation = self.allocations.get(alloc_id)
+        if allocation is None:
+            raise MemoryFault(f"access to unmapped address {address:#x}")
+        if allocation.kind == "code":
+            raise MemoryFault("data access to a function address")
+        if writing and allocation.frozen:
+            raise MemoryFault("write to constant memory")
+        if offset + size > len(allocation.data):
+            raise MemoryFault(
+                f"access of {size} bytes at offset {offset} overruns "
+                f"{len(allocation.data)}-byte allocation"
+            )
+        return allocation, offset
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        allocation, offset = self._chunk(address, size, writing=False)
+        return bytes(allocation.data[offset:offset + size])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        allocation, offset = self._chunk(address, len(data), writing=True)
+        allocation.data[offset:offset + len(data)] = data
+
+    def read_cstring(self, address: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string (for printf-style externals)."""
+        result = bytearray()
+        while len(result) < limit:
+            byte = self.read_bytes(address + len(result), 1)[0]
+            if byte == 0:
+                return bytes(result)
+            result.append(byte)
+        raise MemoryFault("unterminated string")
+
+    # -- typed access ----------------------------------------------------------------
+
+    def load(self, address: int, ty: Type):
+        if ty.is_bool:
+            return self.read_bytes(address, 1)[0] != 0
+        if ty.is_integer:
+            size = ty.bits // 8  # type: ignore[attr-defined]
+            raw = int.from_bytes(self.read_bytes(address, size), "little")
+            return ty.wrap(raw)  # type: ignore[attr-defined]
+        if ty.is_floating:
+            if ty.bits == 32:  # type: ignore[attr-defined]
+                return _struct.unpack("<f", self.read_bytes(address, 4))[0]
+            return _struct.unpack("<d", self.read_bytes(address, 8))[0]
+        if ty.is_pointer:
+            return int.from_bytes(self.read_bytes(address, self.layout.pointer_size),
+                                  "little")
+        raise MemoryFault(f"cannot load a value of type {ty}")
+
+    def store(self, address: int, ty: Type, value) -> None:
+        if ty.is_bool:
+            self.write_bytes(address, bytes([1 if value else 0]))
+            return
+        if ty.is_integer:
+            size = ty.bits // 8  # type: ignore[attr-defined]
+            raw = value & ((1 << (size * 8)) - 1)
+            self.write_bytes(address, raw.to_bytes(size, "little"))
+            return
+        if ty.is_floating:
+            if ty.bits == 32:  # type: ignore[attr-defined]
+                self.write_bytes(address, _struct.pack("<f", value))
+            else:
+                self.write_bytes(address, _struct.pack("<d", value))
+            return
+        if ty.is_pointer:
+            size = self.layout.pointer_size
+            self.write_bytes(address, (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little"))
+            return
+        raise MemoryFault(f"cannot store a value of type {ty}")
+
+    # -- statistics ------------------------------------------------------------------
+
+    def live_allocations(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.allocations)
+        return sum(1 for a in self.allocations.values() if a.kind == kind)
+
+    def heap_bytes(self) -> int:
+        return sum(len(a.data) for a in self.allocations.values() if a.kind == "heap")

@@ -1,0 +1,31 @@
+"""The LC front-end: a C-like language compiled to the IR.
+
+LC stands in for the paper's C front-end.  It covers the C features the
+evaluation leans on — structs, pointers, arrays, casts, function
+pointers, custom allocators via ``char`` buffers — plus typed
+``malloc(T)``/``malloc(T, n)`` and a ``try``/``catch``/``throw``
+extension that lowers onto ``invoke``/``unwind`` (paper section 2.4).
+
+The front-end emits *naive* code on purpose (locals in allocas, no SSA
+form): paper section 3.2's division of labour puts SSA construction in
+the ``mem2reg``/``sroa`` passes, not in front-ends.
+"""
+
+from .astnodes import Program
+from .codegen import CodeGenError, CodeGenerator
+from .cparser import ParseError, Parser, parse
+from .lexer import LexError, tokenize
+
+from ..core.module import Module
+
+
+def compile_source(source: str, module_name: str = "lc_module") -> Module:
+    """Compile LC source text into an IR module (unoptimized)."""
+    program = parse(source)
+    return CodeGenerator(module_name).generate(program)
+
+
+__all__ = [
+    "Program", "CodeGenError", "CodeGenerator", "ParseError", "Parser",
+    "parse", "LexError", "tokenize", "compile_source",
+]

@@ -1,0 +1,428 @@
+"""Abstract syntax tree for LC.
+
+The tree deliberately stays close to C's surface: types are resolved
+and checked during IR generation (mirroring how thin the paper expects
+front-ends to be — "translate source programs to LLVM code,
+synthesizing as much useful type information as possible").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class Node:
+    """Base class; ``line`` supports diagnostics."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int):
+        self.line = line
+
+
+# -- type expressions ---------------------------------------------------------
+
+class TypeExpr(Node):
+    __slots__ = ()
+
+
+class NamedType(TypeExpr):
+    """A primitive keyword, typedef name, or ``struct Tag``."""
+
+    __slots__ = ("name", "is_struct")
+
+    def __init__(self, name: str, line: int, is_struct: bool = False):
+        super().__init__(line)
+        self.name = name
+        self.is_struct = is_struct
+
+
+class PointerType(TypeExpr):
+    __slots__ = ("base",)
+
+    def __init__(self, base: TypeExpr, line: int):
+        super().__init__(line)
+        self.base = base
+
+
+class ArrayTypeExpr(TypeExpr):
+    __slots__ = ("base", "count")
+
+    def __init__(self, base: TypeExpr, count: int, line: int):
+        super().__init__(line)
+        self.base = base
+        self.count = count
+
+
+class FunctionPointerType(TypeExpr):
+    """``ret (*)(params)`` — usable in casts, typedefs, and declarators."""
+
+    __slots__ = ("return_type", "params", "is_vararg")
+
+    def __init__(self, return_type: TypeExpr, params: Sequence[TypeExpr],
+                 is_vararg: bool, line: int):
+        super().__init__(line)
+        self.return_type = return_type
+        self.params = list(params)
+        self.is_vararg = is_vararg
+
+
+# -- expressions -------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class IntLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class BoolLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class NullLiteral(Expr):
+    __slots__ = ()
+
+
+class StringLiteral(Expr):
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes, line: int):
+        super().__init__(line)
+        self.data = data
+
+
+class CharLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class Identifier(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int):
+        super().__init__(line)
+        self.name = name
+
+
+class Unary(Expr):
+    """op in: - ! ~ * (deref) & (address-of) ++pre --pre post++ post--"""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Assign(Expr):
+    """``lhs = rhs`` or compound ``lhs op= rhs`` (op like '+').`"""
+
+    __slots__ = ("target", "value", "op")
+
+    def __init__(self, target: Expr, value: Expr, line: int, op: Optional[str] = None):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+        self.op = op
+
+
+class Conditional(Expr):
+    """``cond ? then : otherwise``"""
+
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Expr, then: Expr, otherwise: Expr, line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class Call(Expr):
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: Expr, args: Sequence[Expr], line: int):
+        super().__init__(line)
+        self.callee = callee
+        self.args = list(args)
+
+
+class Index(Expr):
+    """``base[index]``"""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line: int):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)"""
+
+    __slots__ = ("base", "field", "arrow")
+
+    def __init__(self, base: Expr, field: str, arrow: bool, line: int):
+        super().__init__(line)
+        self.base = base
+        self.field = field
+        self.arrow = arrow
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "value")
+
+    def __init__(self, target_type: TypeExpr, value: Expr, line: int):
+        super().__init__(line)
+        self.target_type = target_type
+        self.value = value
+
+
+class SizeOf(Expr):
+    __slots__ = ("target_type",)
+
+    def __init__(self, target_type: TypeExpr, line: int):
+        super().__init__(line)
+        self.target_type = target_type
+
+
+class MallocExpr(Expr):
+    """Typed allocation: ``malloc(T)`` or ``malloc(T, count)``."""
+
+    __slots__ = ("target_type", "count")
+
+    def __init__(self, target_type: TypeExpr, count: Optional[Expr], line: int):
+        super().__init__(line)
+        self.target_type = target_type
+        self.count = count
+
+
+# -- statements --------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int):
+        super().__init__(line)
+        self.expr = expr
+
+
+class DeclStmt(Stmt):
+    """A local variable declaration, possibly initialised."""
+
+    __slots__ = ("decl_type", "name", "init")
+
+    def __init__(self, decl_type: TypeExpr, name: str, init: Optional[Expr], line: int):
+        super().__init__(line)
+        self.decl_type = decl_type
+        self.name = name
+        self.init = init
+
+
+class Block(Stmt):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: Sequence[Stmt], line: int):
+        super().__init__(line)
+        self.statements = list(statements)
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Expr, then: Stmt, otherwise: Optional[Stmt], line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Stmt, line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: Stmt, cond: Expr, line: int):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Stmt], cond: Optional[Expr],
+                 step: Optional[Expr], body: Stmt, line: int):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class Switch(Stmt):
+    """``cases``: list of (constant int value, statements); default_body
+    may be None."""
+
+    __slots__ = ("value", "cases", "default_body")
+
+    def __init__(self, value: Expr, cases, default_body, line: int):
+        super().__init__(line)
+        self.value = value
+        self.cases = cases
+        self.default_body = default_body
+
+
+class FreeStmt(Stmt):
+    __slots__ = ("pointer",)
+
+    def __init__(self, pointer: Expr, line: int):
+        super().__init__(line)
+        self.pointer = pointer
+
+
+class Try(Stmt):
+    """``try { body } catch { handler }`` — the LC surface syntax for the
+    invoke/unwind mechanism of paper section 2.4."""
+
+    __slots__ = ("body", "handler")
+
+    def __init__(self, body: Block, handler: Block, line: int):
+        super().__init__(line)
+        self.body = body
+        self.handler = handler
+
+
+class Throw(Stmt):
+    """``throw;`` — unwind the stack to the nearest enclosing try."""
+
+    __slots__ = ()
+
+
+# -- top-level declarations --------------------------------------------------
+
+class StructDecl(Node):
+    __slots__ = ("name", "fields")  # fields: list of (TypeExpr, name)
+
+    def __init__(self, name: str, fields, line: int):
+        super().__init__(line)
+        self.name = name
+        self.fields = fields
+
+
+class Typedef(Node):
+    __slots__ = ("name", "target")
+
+    def __init__(self, name: str, target: TypeExpr, line: int):
+        super().__init__(line)
+        self.name = name
+        self.target = target
+
+
+class GlobalDecl(Node):
+    __slots__ = ("decl_type", "name", "init", "is_extern", "is_static")
+
+    def __init__(self, decl_type: TypeExpr, name: str, init: Optional[Expr],
+                 line: int, is_extern: bool = False, is_static: bool = False):
+        super().__init__(line)
+        self.decl_type = decl_type
+        self.name = name
+        self.init = init
+        self.is_extern = is_extern
+        self.is_static = is_static
+
+
+class Param(Node):
+    __slots__ = ("decl_type", "name")
+
+    def __init__(self, decl_type: TypeExpr, name: str, line: int):
+        super().__init__(line)
+        self.decl_type = decl_type
+        self.name = name
+
+
+class FunctionDecl(Node):
+    """A function definition (body is a Block) or declaration (body None)."""
+
+    __slots__ = ("return_type", "name", "params", "is_vararg", "body", "is_static")
+
+    def __init__(self, return_type: TypeExpr, name: str, params: Sequence[Param],
+                 is_vararg: bool, body: Optional[Block], line: int,
+                 is_static: bool = False):
+        super().__init__(line)
+        self.return_type = return_type
+        self.name = name
+        self.params = list(params)
+        self.is_vararg = is_vararg
+        self.body = body
+        self.is_static = is_static
+
+
+class Program(Node):
+    """A parsed translation unit."""
+
+    __slots__ = ("declarations",)
+
+    def __init__(self, declarations: Sequence[Node]):
+        super().__init__(1)
+        self.declarations = list(declarations)

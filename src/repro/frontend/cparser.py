@@ -1,0 +1,545 @@
+"""Recursive-descent parser for LC (see :mod:`repro.frontend.lexer`).
+
+Produces the AST of :mod:`repro.frontend.astnodes`.  Typedef and struct
+names are tracked during parsing so the type/expression ambiguity in
+casts and declarations resolves the way C compilers do it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import astnodes as ast
+from .lexer import Token, tokenize
+
+_PRIMITIVE_TYPES = frozenset({
+    "void", "bool", "char", "uchar", "short", "ushort", "int", "uint",
+    "long", "ulong", "float", "double",
+})
+
+_ASSIGN_OPS = {
+    "=": None, "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.typedef_names: set[str] = set()
+        self.struct_tags: set[str] = set()
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.position + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(f"expected {wanted!r}, found {token.text!r}", token.line)
+        return self.next()
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.peek().line)
+
+    # -- types ------------------------------------------------------------------
+
+    def at_type_start(self, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        if token.kind == "keyword":
+            return token.text in _PRIMITIVE_TYPES or token.text == "struct"
+        return token.kind == "ident" and token.text in self.typedef_names
+
+    def parse_type(self) -> ast.TypeExpr:
+        token = self.peek()
+        if token.kind == "keyword" and token.text in _PRIMITIVE_TYPES:
+            self.next()
+            base: ast.TypeExpr = ast.NamedType(token.text, token.line)
+        elif token.kind == "keyword" and token.text == "struct":
+            self.next()
+            tag = self.expect("ident")
+            self.struct_tags.add(tag.text)
+            base = ast.NamedType(tag.text, tag.line, is_struct=True)
+        elif token.kind == "ident" and token.text in self.typedef_names:
+            self.next()
+            base = ast.NamedType(token.text, token.line)
+        else:
+            raise self.error(f"expected a type, found {token.text!r}")
+        while True:
+            if self.accept("*"):
+                base = ast.PointerType(base, token.line)
+            elif (self.peek().kind == "(" and self.peek(1).kind == "*"
+                  and self.peek(2).kind == ")"):
+                # Abstract function-pointer declarator: T (*)(params)
+                self.next()
+                self.next()
+                self.next()
+                params, is_vararg = self._parse_param_types()
+                base = ast.FunctionPointerType(base, params, is_vararg, token.line)
+            else:
+                return base
+
+    def _parse_param_types(self) -> tuple[list[ast.TypeExpr], bool]:
+        self.expect("(")
+        params: list[ast.TypeExpr] = []
+        is_vararg = False
+        if self.accept(")"):
+            return params, is_vararg
+        if self.peek().kind == "keyword" and self.peek().text == "void" and self.peek(1).kind == ")":
+            self.next()
+            self.expect(")")
+            return params, is_vararg
+        while True:
+            if self.accept("..."):
+                is_vararg = True
+                break
+            params.append(self.parse_type())
+            self.accept("ident")  # optional parameter name, ignored
+            if not self.accept(","):
+                break
+        self.expect(")")
+        return params, is_vararg
+
+    # -- top level -----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        declarations: list[ast.Node] = []
+        while self.peek().kind != "eof":
+            declarations.extend(self._parse_top_level())
+        return ast.Program(declarations)
+
+    def _parse_top_level(self) -> list[ast.Node]:
+        token = self.peek()
+        if token.kind == "keyword" and token.text == "typedef":
+            return [self._parse_typedef()]
+        if (token.kind == "keyword" and token.text == "struct"
+                and self.peek(2).kind == "{"):
+            return [self._parse_struct_decl()]
+        return self._parse_global_or_function()
+
+    def _parse_typedef(self) -> ast.Typedef:
+        start = self.expect("keyword", "typedef")
+        target = self.parse_type()
+        name = self.expect("ident")
+        self.expect(";")
+        self.typedef_names.add(name.text)
+        return ast.Typedef(name.text, target, start.line)
+
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        start = self.expect("keyword", "struct")
+        tag = self.expect("ident")
+        self.struct_tags.add(tag.text)
+        self.expect("{")
+        fields: list[tuple[ast.TypeExpr, str]] = []
+        while not self.accept("}"):
+            field_type = self.parse_type()
+            while True:
+                field_type2, name = self._parse_declarator(field_type)
+                fields.append((field_type2, name))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        self.expect(";")
+        return ast.StructDecl(tag.text, fields, start.line)
+
+    def _parse_declarator(self, base: ast.TypeExpr) -> tuple[ast.TypeExpr, str]:
+        """Parse ``*``-prefixes, a name, and array suffixes."""
+        line = self.peek().line
+        while self.accept("*"):
+            base = ast.PointerType(base, line)
+        if (self.peek().kind == "(" and self.peek(1).kind == "*"
+                and self.peek(2).kind == "ident"):
+            # Function-pointer declarator: T (*name)(params), or an
+            # array of them: T (*name[N])(params).
+            self.next()
+            self.next()
+            name = self.expect("ident").text
+            array_count = None
+            if self.accept("["):
+                array_count = self.expect("int").value
+                self.expect("]")
+            self.expect(")")
+            params, is_vararg = self._parse_param_types()
+            declared: ast.TypeExpr = ast.FunctionPointerType(
+                base, params, is_vararg, line
+            )
+            if array_count is not None:
+                declared = ast.ArrayTypeExpr(declared, array_count, line)
+            return declared, name
+        name = self.expect("ident").text
+        suffixes: list[int] = []
+        while self.accept("["):
+            count = self.expect("int")
+            self.expect("]")
+            suffixes.append(count.value)
+        for count in reversed(suffixes):
+            base = ast.ArrayTypeExpr(base, count, line)
+        return base, name
+
+    def _parse_global_or_function(self) -> list[ast.Node]:
+        is_extern = bool(self.accept("keyword", "extern"))
+        is_static = bool(self.accept("keyword", "static"))
+        base = self.parse_type()
+        line = self.peek().line
+        decl_type, name = self._parse_declarator(base)
+        if self.peek().kind == "(" and not isinstance(decl_type, ast.FunctionPointerType):
+            return [self._parse_function(decl_type, name, line, is_static)]
+        declarations: list[ast.Node] = []
+        while True:
+            init = None
+            if self.accept("="):
+                init = self.parse_assignment()
+            declarations.append(
+                ast.GlobalDecl(decl_type, name, init, line, is_extern, is_static)
+            )
+            if not self.accept(","):
+                break
+            decl_type, name = self._parse_declarator(base)
+        self.expect(";")
+        return declarations
+
+    def _parse_function(self, return_type: ast.TypeExpr, name: str,
+                        line: int, is_static: bool) -> ast.FunctionDecl:
+        self.expect("(")
+        params: list[ast.Param] = []
+        is_vararg = False
+        if not self.accept(")"):
+            if (self.peek().kind == "keyword" and self.peek().text == "void"
+                    and self.peek(1).kind == ")"):
+                self.next()
+            else:
+                while True:
+                    if self.accept("..."):
+                        is_vararg = True
+                        break
+                    param_base = self.parse_type()
+                    param_type, param_name = self._parse_declarator(param_base)
+                    params.append(ast.Param(param_type, param_name, line))
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+        body = None
+        if self.peek().kind == "{":
+            body = self._parse_block()
+        else:
+            self.expect(";")
+        return ast.FunctionDecl(return_type, name, params, is_vararg, body,
+                                line, is_static)
+
+    # -- statements ---------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self.expect("{")
+        statements: list[ast.Stmt] = []
+        while not self.accept("}"):
+            statements.append(self._parse_statement())
+        return ast.Block(statements, start.line)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "{":
+            return self._parse_block()
+        if token.kind == "keyword":
+            handler = {
+                "if": self._parse_if, "while": self._parse_while,
+                "do": self._parse_do_while, "for": self._parse_for,
+                "return": self._parse_return, "switch": self._parse_switch,
+                "try": self._parse_try,
+            }.get(token.text)
+            if handler is not None:
+                return handler()
+            if token.text == "break":
+                self.next()
+                self.expect(";")
+                return ast.Break(token.line)
+            if token.text == "continue":
+                self.next()
+                self.expect(";")
+                return ast.Continue(token.line)
+            if token.text == "throw":
+                self.next()
+                self.expect(";")
+                return ast.Throw(token.line)
+            if token.text == "free":
+                self.next()
+                self.expect("(")
+                pointer = self.parse_expression()
+                self.expect(")")
+                self.expect(";")
+                return ast.FreeStmt(pointer, token.line)
+        if self.at_type_start():
+            return self._parse_declaration()
+        expr = self.parse_expression()
+        self.expect(";")
+        return ast.ExprStmt(expr, token.line)
+
+    def _parse_declaration(self) -> ast.Stmt:
+        line = self.peek().line
+        base = self.parse_type()
+        statements: list[ast.Stmt] = []
+        while True:
+            decl_type, name = self._parse_declarator(base)
+            init = None
+            if self.accept("="):
+                init = self.parse_assignment()
+            statements.append(ast.DeclStmt(decl_type, name, init, line))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(statements) == 1:
+            return statements[0]
+        return ast.Block(statements, line)
+
+    def _parse_if(self) -> ast.Stmt:
+        start = self.expect("keyword", "if")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self.accept("keyword", "else"):
+            otherwise = self._parse_statement()
+        return ast.If(cond, then, otherwise, start.line)
+
+    def _parse_while(self) -> ast.Stmt:
+        start = self.expect("keyword", "while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        body = self._parse_statement()
+        return ast.While(cond, body, start.line)
+
+    def _parse_do_while(self) -> ast.Stmt:
+        start = self.expect("keyword", "do")
+        body = self._parse_statement()
+        self.expect("keyword", "while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(body, cond, start.line)
+
+    def _parse_for(self) -> ast.Stmt:
+        start = self.expect("keyword", "for")
+        self.expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self.accept(";"):
+            if self.at_type_start():
+                init = self._parse_declaration()
+            else:
+                init = ast.ExprStmt(self.parse_expression(), start.line)
+                self.expect(";")
+        cond = None
+        if not self.accept(";"):
+            cond = self.parse_expression()
+            self.expect(";")
+        step = None
+        if self.peek().kind != ")":
+            step = self.parse_expression()
+        self.expect(")")
+        body = self._parse_statement()
+        return ast.For(init, cond, step, body, start.line)
+
+    def _parse_return(self) -> ast.Stmt:
+        start = self.expect("keyword", "return")
+        value = None
+        if self.peek().kind != ";":
+            value = self.parse_expression()
+        self.expect(";")
+        return ast.Return(value, start.line)
+
+    def _parse_switch(self) -> ast.Stmt:
+        start = self.expect("keyword", "switch")
+        self.expect("(")
+        value = self.parse_expression()
+        self.expect(")")
+        self.expect("{")
+        cases: list[tuple[int, list[ast.Stmt]]] = []
+        default_body: Optional[list[ast.Stmt]] = None
+        current: Optional[list[ast.Stmt]] = None
+        while not self.accept("}"):
+            if self.accept("keyword", "case"):
+                sign = -1 if self.accept("-") else 1
+                case_value = self.expect("int")
+                self.expect(":")
+                current = []
+                cases.append((sign * case_value.value, current))
+            elif self.accept("keyword", "default"):
+                self.expect(":")
+                current = []
+                default_body = current
+            else:
+                if current is None:
+                    raise self.error("statement before first case label")
+                current.append(self._parse_statement())
+        return ast.Switch(value, cases, default_body, start.line)
+
+    def _parse_try(self) -> ast.Stmt:
+        start = self.expect("keyword", "try")
+        body = self._parse_block()
+        self.expect("keyword", "catch")
+        handler = self._parse_block()
+        return ast.Try(body, handler, start.line)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_ternary()
+        token = self.peek()
+        if token.kind in _ASSIGN_OPS:
+            self.next()
+            rhs = self.parse_assignment()
+            return ast.Assign(lhs, rhs, token.line, _ASSIGN_OPS[token.kind])
+        return lhs
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_expression()
+            self.expect(":")
+            otherwise = self._parse_ternary()
+            return ast.Conditional(cond, then, otherwise, cond.line)
+        return cond
+
+    _PRECEDENCE = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", ">", "<=", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        lhs = self._parse_binary(level + 1)
+        while self.peek().kind in self._PRECEDENCE[level]:
+            op = self.next()
+            rhs = self._parse_binary(level + 1)
+            lhs = ast.Binary(op.kind, lhs, rhs, op.line)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind in ("-", "!", "~", "*", "&"):
+            self.next()
+            operand = self._parse_unary()
+            return ast.Unary(token.kind, operand, token.line)
+        if token.kind in ("++", "--"):
+            self.next()
+            operand = self._parse_unary()
+            return ast.Unary("pre" + token.kind, operand, token.line)
+        if token.kind == "(" and self.at_type_start(1):
+            self.next()
+            target_type = self.parse_type()
+            self.expect(")")
+            value = self._parse_unary()
+            return ast.Cast(target_type, value, token.line)
+        if token.kind == "keyword" and token.text == "sizeof":
+            self.next()
+            self.expect("(")
+            target_type = self.parse_type()
+            self.expect(")")
+            return ast.SizeOf(target_type, token.line)
+        if token.kind == "keyword" and token.text == "malloc":
+            self.next()
+            self.expect("(")
+            target_type = self.parse_type()
+            count = None
+            if self.accept(","):
+                count = self.parse_expression()
+            self.expect(")")
+            return ast.MallocExpr(target_type, count, token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "(":
+                self.next()
+                args: list[ast.Expr] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                expr = ast.Call(expr, args, token.line)
+            elif token.kind == "[":
+                self.next()
+                index = self.parse_expression()
+                self.expect("]")
+                expr = ast.Index(expr, index, token.line)
+            elif token.kind == ".":
+                self.next()
+                field = self.expect("ident")
+                expr = ast.Member(expr, field.text, False, token.line)
+            elif token.kind == "->":
+                self.next()
+                field = self.expect("ident")
+                expr = ast.Member(expr, field.text, True, token.line)
+            elif token.kind in ("++", "--"):
+                self.next()
+                expr = ast.Unary("post" + token.kind, expr, token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.next()
+        if token.kind == "int":
+            return ast.IntLiteral(token.value, token.line)
+        if token.kind == "float":
+            return ast.FloatLiteral(token.value, token.line)
+        if token.kind == "string":
+            return ast.StringLiteral(token.value, token.line)
+        if token.kind == "char":
+            return ast.CharLiteral(token.value, token.line)
+        if token.kind == "ident":
+            return ast.Identifier(token.text, token.line)
+        if token.kind == "keyword":
+            if token.text == "true":
+                return ast.BoolLiteral(True, token.line)
+            if token.text == "false":
+                return ast.BoolLiteral(False, token.line)
+            if token.text == "null":
+                return ast.NullLiteral(token.line)
+        if token.kind == "(":
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse LC source text into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,168 @@
+"""Lexer for LC, the C-like source language of the front-end.
+
+LC is the stand-in for the paper's C front-end: a small C subset plus
+two extensions that exercise the paper's novel mechanisms — typed
+``malloc(T)`` / ``malloc(T, n)`` allocation, and ``try``/``catch``/
+``throw`` lowered onto ``invoke``/``unwind``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+KEYWORDS = frozenset({
+    "void", "bool", "char", "uchar", "short", "ushort", "int", "uint",
+    "long", "ulong", "float", "double",
+    "struct", "typedef", "extern", "static", "sizeof",
+    "if", "else", "while", "for", "do", "break", "continue", "return",
+    "switch", "case", "default",
+    "true", "false", "null",
+    "malloc", "free",
+    "try", "catch", "throw",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "line")
+
+    def __init__(self, kind: str, text: str, line: int, value=None):
+        self.kind = kind   # 'ident', 'keyword', 'int', 'float', 'string', 'char', op text, 'eof'
+        self.text = text
+        self.value = value
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length
+                              and source[index + 1].isdigit()):
+            token, index = _lex_number(source, index, line)
+            tokens.append(token)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        if char == '"':
+            data = bytearray()
+            index += 1
+            while index < length and source[index] != '"':
+                byte, index = _lex_char(source, index, line)
+                data.append(byte)
+            if index >= length:
+                raise LexError("unterminated string literal", line)
+            index += 1
+            tokens.append(Token("string", data.decode("latin-1"), line, bytes(data)))
+            continue
+        if char == "'":
+            index += 1
+            byte, index = _lex_char(source, index, line)
+            if index >= length or source[index] != "'":
+                raise LexError("unterminated character literal", line)
+            index += 1
+            tokens.append(Token("char", chr(byte), line, byte))
+            continue
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(Token(operator, operator, line))
+                index += len(operator)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _lex_number(source: str, index: int, line: int) -> tuple[Token, int]:
+    start = index
+    length = len(source)
+    if source.startswith("0x", index) or source.startswith("0X", index):
+        index += 2
+        while index < length and source[index] in "0123456789abcdefABCDEF":
+            index += 1
+        return Token("int", source[start:index], line, int(source[start:index], 16)), index
+    while index < length and source[index].isdigit():
+        index += 1
+    is_float = False
+    if index < length and source[index] == "." and not source.startswith("..", index):
+        is_float = True
+        index += 1
+        while index < length and source[index].isdigit():
+            index += 1
+    if index < length and source[index] in "eE":
+        peek = index + 1
+        if peek < length and source[peek] in "+-":
+            peek += 1
+        if peek < length and source[peek].isdigit():
+            is_float = True
+            index = peek
+            while index < length and source[index].isdigit():
+                index += 1
+    text = source[start:index]
+    suffix = ""
+    while index < length and source[index] in "uUlLfF":
+        suffix += source[index].lower()
+        index += 1
+    if is_float or "f" in suffix:
+        return Token("float", text + suffix, line, float(text)), index
+    return Token("int", text + suffix, line, int(text)), index
+
+
+def _lex_char(source: str, index: int, line: int) -> tuple[int, int]:
+    if source[index] == "\\":
+        escape = source[index + 1]
+        if escape == "x":
+            value = int(source[index + 2:index + 4], 16)
+            return value, index + 4
+        if escape not in _ESCAPES:
+            raise LexError(f"unknown escape \\{escape}", line)
+        return _ESCAPES[escape], index + 2
+    return ord(source[index]), index + 1

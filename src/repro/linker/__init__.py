@@ -1,0 +1,5 @@
+"""The linker: combines modules for whole-program compilation."""
+
+from .linker import LinkError, link_modules
+
+__all__ = ["LinkError", "link_modules"]

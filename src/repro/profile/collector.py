@@ -1,0 +1,114 @@
+"""Profile collection: the runtime half of the instrumentation.
+
+The counters represent *end-user* runs (paper section 3.6): the data is
+gathered while the application runs in the field (here: under the
+execution engine), persisted, and consumed later by the offline
+reoptimizer — possibly accumulated over several runs with different
+usage patterns.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .instrument import ProfileMap
+
+
+class ProfileData:
+    """Counter values plus the map describing what they measure."""
+
+    def __init__(self, profile_map: ProfileMap):
+        self.profile_map = profile_map
+        self.counts: dict[int, int] = {}
+
+    # -- collection hook -------------------------------------------------------
+
+    def externals(self) -> dict:
+        """Extra external functions to install into an Interpreter."""
+        def count(interp, args):
+            counter_id = args[0]
+            self.counts[counter_id] = self.counts.get(counter_id, 0) + 1
+            return None
+
+        return {"__profile_count": count}
+
+    # -- accumulation across runs -----------------------------------------------
+
+    def merge(self, other: "ProfileData") -> None:
+        for counter_id, value in other.counts.items():
+            self.counts[counter_id] = self.counts.get(counter_id, 0) + value
+
+    # -- queries --------------------------------------------------------------------
+
+    def count_of(self, counter_id: int) -> int:
+        return self.counts.get(counter_id, 0)
+
+    def function_entry_counts(self) -> dict[str, int]:
+        result: dict[str, int] = {}
+        for info in self.profile_map.counters:
+            if info.kind == "entry":
+                result[info.function_name] = self.count_of(info.counter_id)
+        return result
+
+    def block_counts(self, function_name: str) -> dict[str, int]:
+        """Block-name -> execution count (block-granularity profiles).
+
+        Entry and loop-header counters are block counters too (they are
+        just tagged with their role).
+        """
+        result: dict[str, int] = {}
+        for info in self.profile_map.counters:
+            if (info.function_name == function_name
+                    and info.kind in ("block", "entry", "loop")):
+                result[info.block_name] = self.count_of(info.counter_id)
+        return result
+
+    def hot_loops(self, threshold: int) -> list[tuple[str, str, int]]:
+        """(function, loop header block, trip count) over the threshold."""
+        result = []
+        for info in self.profile_map.counters:
+            if info.kind == "loop":
+                count = self.count_of(info.counter_id)
+                if count >= threshold:
+                    result.append((info.function_name, info.block_name, count))
+        result.sort(key=lambda item: -item[2])
+        return result
+
+    def hot_functions(self, threshold: int) -> list[tuple[str, int]]:
+        result = [
+            (name, count)
+            for name, count in self.function_entry_counts().items()
+            if count >= threshold
+        ]
+        result.sort(key=lambda item: -item[1])
+        return result
+
+    # -- persistence (the "profile info" shipped between runs) ------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "counters": [
+                {
+                    "id": info.counter_id,
+                    "function": info.function_name,
+                    "kind": info.kind,
+                    "block": info.block_name,
+                    "count": self.count_of(info.counter_id),
+                }
+                for info in self.profile_map.counters
+            ]
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfileData":
+        payload = json.loads(text)
+        profile_map = ProfileMap()
+        data = cls(profile_map)
+        for entry in payload["counters"]:
+            counter_id = profile_map.new_counter(
+                entry["function"], entry["kind"], entry["block"]
+            )
+            data.counts[counter_id] = entry["count"]
+        return data

@@ -1,0 +1,123 @@
+"""Profiling instrumentation (paper section 3.4/3.5).
+
+"The native code generator inserts light-weight instrumentation to
+detect frequently executed code regions (currently loop nests and
+traces)."  This pass inserts calls to the runtime counter function
+``__profile_count(uint id)`` at function entries and at loop headers
+(region mode), or at every basic block (block mode, used by the trace
+former to pick the hot path through a region).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..analysis.loops import LoopInfo
+from ..core import types
+from ..core.instructions import CallInst
+from ..core.module import Function, Module
+from ..core.values import ConstantInt
+
+COUNTER_FUNCTION = "__profile_count"
+
+
+class Granularity(enum.Enum):
+    REGIONS = "regions"  # function entries + loop headers
+    BLOCKS = "blocks"    # every basic block
+
+
+class CounterInfo:
+    """What one counter id measures."""
+
+    __slots__ = ("counter_id", "function_name", "kind", "block_name")
+
+    def __init__(self, counter_id: int, function_name: str, kind: str,
+                 block_name: str):
+        self.counter_id = counter_id
+        self.function_name = function_name
+        self.kind = kind  # 'entry' | 'loop' | 'block'
+        self.block_name = block_name
+
+
+class ProfileMap:
+    """Maps counter ids back to program locations."""
+
+    def __init__(self):
+        self.counters: list[CounterInfo] = []
+
+    def new_counter(self, function_name: str, kind: str, block_name: str) -> int:
+        counter_id = len(self.counters)
+        self.counters.append(
+            CounterInfo(counter_id, function_name, kind, block_name)
+        )
+        return counter_id
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+
+class ProfileInstrumentation:
+    """The pass object (see module docstring)."""
+
+    name = "instrument"
+
+    def __init__(self, granularity: Granularity = Granularity.REGIONS):
+        self.granularity = granularity
+        self.profile_map = ProfileMap()
+
+    def run_on_module(self, module: Module) -> bool:
+        counter_fn = module.get_or_insert_function(
+            types.function(types.VOID, [types.UINT]), COUNTER_FUNCTION
+        )
+        changed = False
+        for function in list(module.defined_functions()):
+            if function.name == COUNTER_FUNCTION:
+                continue
+            changed |= self._instrument_function(function, counter_fn)
+        return changed
+
+    def _instrument_function(self, function: Function, counter_fn) -> bool:
+        if self.granularity == Granularity.BLOCKS:
+            _ensure_unique_block_names(function)
+            loop_info = LoopInfo(function)
+            loop_headers = {id(l.header) for l in loop_info.all_loops()}
+            for block in function.blocks:
+                if block is function.entry_block:
+                    kind = "entry"
+                elif id(block) in loop_headers:
+                    kind = "loop"
+                else:
+                    kind = "block"
+                counter_id = self.profile_map.new_counter(
+                    function.name, kind, block.name
+                )
+                self._insert_counter(block, counter_fn, counter_id)
+            return bool(function.blocks)
+        entry_id = self.profile_map.new_counter(function.name, "entry", "entry")
+        self._insert_counter(function.entry_block, counter_fn, entry_id)
+        loop_info = LoopInfo(function)
+        for loop in loop_info.all_loops():
+            loop_id = self.profile_map.new_counter(
+                function.name, "loop", loop.header.name
+            )
+            self._insert_counter(loop.header, counter_fn, loop_id)
+        return True
+
+    def _insert_counter(self, block, counter_fn, counter_id: int) -> None:
+        call = CallInst(counter_fn, [ConstantInt(types.UINT, counter_id)])
+        block.insert(block.first_non_phi_index(), call)
+
+
+def _ensure_unique_block_names(function: Function) -> None:
+    """Counters key on block names; make them unique within the function."""
+    seen: set[str] = set()
+    for block in function.blocks:
+        name = block.name or "bb"
+        if name in seen:
+            suffix = 1
+            while f"{name}.{suffix}" in seen:
+                suffix += 1
+            name = f"{name}.{suffix}"
+        block.name = name
+        seen.add(name)

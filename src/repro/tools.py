@@ -1,0 +1,292 @@
+"""Command-line tools, mirroring the LLVM 1.x tool suite.
+
+| command   | LLVM equivalent | does |
+|-----------|-----------------|------|
+| lc-cc     | llvmgcc         | compile LC source to IR (text or bytecode) |
+| lc-as     | llvm-as         | assemble textual IR into bytecode |
+| lc-dis    | llvm-dis        | disassemble bytecode into textual IR |
+| lc-opt    | opt             | run optimization passes over IR |
+| lc-link   | llvm-link/gccld | link modules (+ link-time IPO with -lto) |
+| lc-run    | lli             | execute a module in the execution engine |
+| lc-llc    | llc             | "native" code generation (sizes + assembly) |
+
+Each accepts ``-`` for stdin/stdout where that makes sense.  Installed
+as console scripts; also callable as ``python -m repro.tools <tool>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .backend import SPARC, X86, compile_for_size, print_machine_function
+from .bitcode import read_bytecode, write_bytecode
+from .core import parse_module, print_module, verify_module
+from .core.module import Module
+from .driver import compile_and_link, link_time_optimize, optimize_module
+from .execution import Interpreter
+from .frontend import compile_source
+from .linker import link_modules
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def _read_module(path: str) -> Module:
+    """Load a module from textual IR or bytecode (sniffed by magic)."""
+    if path == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    if data[:4] == b"llvm":
+        return read_bytecode(data)
+    return parse_module(data.decode("utf-8"))
+
+
+def _write_module(module: Module, path: str, binary: bool) -> None:
+    if binary:
+        data = write_bytecode(module, strip_names=False)
+        if path == "-":
+            sys.stdout.buffer.write(data)
+        else:
+            with open(path, "wb") as handle:
+                handle.write(data)
+    else:
+        text = print_module(module)
+        if path == "-":
+            sys.stdout.write(text)
+        else:
+            with open(path, "w") as handle:
+                handle.write(text)
+
+
+def lc_cc(argv=None) -> int:
+    """Compile LC source to IR."""
+    parser = argparse.ArgumentParser(
+        prog="lc-cc", description="LC front-end (the llvmgcc equivalent)"
+    )
+    parser.add_argument("sources", nargs="+", help="LC source files")
+    parser.add_argument("-o", default="-", help="output (default stdout)")
+    parser.add_argument("-O", type=int, default=0, dest="level",
+                        help="optimization level 0-3")
+    parser.add_argument("--lto", action="store_true",
+                        help="run link-time interprocedural optimization")
+    parser.add_argument("-c", action="store_true", dest="binary",
+                        help="emit bytecode instead of textual IR")
+    args = parser.parse_args(argv)
+    sources = [_read_text(path) for path in args.sources]
+    if len(sources) == 1 and not args.lto:
+        module = compile_source(sources[0], "module")
+        optimize_module(module, args.level)
+    else:
+        module = compile_and_link(sources, "program", args.level, args.lto)
+    verify_module(module)
+    _write_module(module, args.o, args.binary)
+    return 0
+
+
+def lc_as(argv=None) -> int:
+    """Assemble textual IR into bytecode."""
+    parser = argparse.ArgumentParser(
+        prog="lc-as", description="IR assembler (the llvm-as equivalent)"
+    )
+    parser.add_argument("input", nargs="?", default="-")
+    parser.add_argument("-o", default="-")
+    args = parser.parse_args(argv)
+    module = parse_module(_read_text(args.input))
+    verify_module(module)
+    _write_module(module, args.o, binary=True)
+    return 0
+
+
+def lc_dis(argv=None) -> int:
+    """Disassemble bytecode into textual IR."""
+    parser = argparse.ArgumentParser(
+        prog="lc-dis", description="IR disassembler (the llvm-dis equivalent)"
+    )
+    parser.add_argument("input", nargs="?", default="-")
+    parser.add_argument("-o", default="-")
+    args = parser.parse_args(argv)
+    module = _read_module(args.input)
+    _write_module(module, args.o, binary=False)
+    return 0
+
+
+_PASS_FACTORIES = {}
+
+
+def _pass_registry():
+    if not _PASS_FACTORIES:
+        from . import transforms
+        from .transforms import ipo
+        from .transforms.reg2mem import DemoteRegisters
+        from .transforms.safecode import BoundsCheckInsertion
+        from .transforms.typeerase import TypeEraser
+
+        _PASS_FACTORIES.update({
+            "mem2reg": transforms.PromoteMem2Reg,
+            "sroa": transforms.ScalarReplAggregates,
+            "simplifycfg": transforms.SimplifyCFG,
+            "dce": transforms.DeadCodeElimination,
+            "adce": transforms.AggressiveDCE,
+            "constprop": transforms.ConstantPropagation,
+            "sccp": transforms.SCCP,
+            "gvn": transforms.GVN,
+            "instcombine": transforms.InstCombine,
+            "reassociate": transforms.Reassociate,
+            "licm": transforms.LICM,
+            "tailrec": transforms.TailRecursionElimination,
+            "reg2mem": DemoteRegisters,
+            "inline": ipo.FunctionInlining,
+            "dge": ipo.DeadGlobalElimination,
+            "dae": ipo.DeadArgumentElimination,
+            "ipcp": ipo.IPConstantPropagation,
+            "internalize": ipo.Internalize,
+            "prune-eh": ipo.PruneExceptionHandlers,
+            "devirtualize": ipo.Devirtualize,
+            "heap2stack": ipo.HeapToStackPromotion,
+            "safecode": BoundsCheckInsertion,
+            "typeerase": TypeEraser,
+        })
+    return _PASS_FACTORIES
+
+
+def lc_opt(argv=None) -> int:
+    """Run optimization passes over a module."""
+    parser = argparse.ArgumentParser(
+        prog="lc-opt", description="modular optimizer (the opt equivalent)"
+    )
+    parser.add_argument("input", nargs="?", default="-")
+    parser.add_argument("-o", default="-")
+    parser.add_argument("-c", action="store_true", dest="binary")
+    parser.add_argument("-O", type=int, default=None, dest="level",
+                        help="run the standard -ON pipeline")
+    parser.add_argument("-p", "--passes", default="",
+                        help=f"comma list from: {', '.join(sorted(_pass_registry()))}")
+    parser.add_argument("--verify-each", action="store_true")
+    args = parser.parse_args(argv)
+    module = _read_module(args.input)
+    if args.level is not None:
+        optimize_module(module, args.level, args.verify_each)
+    if args.passes:
+        from .transforms import PassManager
+
+        manager = PassManager(verify_each=args.verify_each)
+        registry = _pass_registry()
+        for name in args.passes.split(","):
+            name = name.strip()
+            if name not in registry:
+                parser.error(f"unknown pass {name!r}")
+            manager.add(registry[name]())
+        manager.run(module)
+    verify_module(module)
+    _write_module(module, args.o, args.binary)
+    return 0
+
+
+def lc_link(argv=None) -> int:
+    """Link modules; optionally run the link-time optimizer."""
+    parser = argparse.ArgumentParser(
+        prog="lc-link", description="module linker (the gccld equivalent)"
+    )
+    parser.add_argument("inputs", nargs="+")
+    parser.add_argument("-o", default="-")
+    parser.add_argument("-c", action="store_true", dest="binary")
+    parser.add_argument("--lto", action="store_true",
+                        help="internalize + interprocedural optimization")
+    args = parser.parse_args(argv)
+    modules = [_read_module(path) for path in args.inputs]
+    linked = link_modules(modules, "linked")
+    if args.lto:
+        link_time_optimize(linked, 2)
+    verify_module(linked)
+    _write_module(linked, args.o, args.binary)
+    return 0
+
+
+def lc_run(argv=None) -> int:
+    """Execute a module in the execution engine."""
+    parser = argparse.ArgumentParser(
+        prog="lc-run", description="execution engine (the lli equivalent)"
+    )
+    parser.add_argument("input")
+    parser.add_argument("args", nargs="*", type=int,
+                        help="integer arguments for the entry function")
+    parser.add_argument("--entry", default="main")
+    parser.add_argument("--step-limit", type=int, default=50_000_000)
+    parser.add_argument("--stats", action="store_true",
+                        help="print step/memory statistics to stderr")
+    args = parser.parse_args(argv)
+    module = _read_module(args.input)
+    interpreter = Interpreter(module, step_limit=args.step_limit)
+    result = interpreter.run(args.entry, args.args)
+    sys.stdout.write("".join(interpreter.output))
+    if args.stats:
+        print(f"steps: {interpreter.steps}", file=sys.stderr)
+        print(f"heap bytes live: {interpreter.memory.heap_bytes()}",
+              file=sys.stderr)
+    return int(result) & 0xFF if isinstance(result, int) else 0
+
+
+def lc_llc(argv=None) -> int:
+    """Generate 'native' code: assembly listing or size report."""
+    parser = argparse.ArgumentParser(
+        prog="lc-llc", description="native code generator (the llc equivalent)"
+    )
+    parser.add_argument("input", nargs="?", default="-")
+    parser.add_argument("-o", default="-")
+    parser.add_argument("--target", choices=("x86", "sparc"), default="x86")
+    parser.add_argument("--emit", choices=("asm", "size", "image"),
+                        default="asm")
+    args = parser.parse_args(argv)
+    module = _read_module(args.input)
+    target = X86 if args.target == "x86" else SPARC
+    image = compile_for_size(module, target)
+    if args.emit == "image":
+        data = image.to_bytes()
+        if args.o == "-":
+            sys.stdout.buffer.write(data)
+        else:
+            with open(args.o, "wb") as handle:
+                handle.write(data)
+        return 0
+    if args.emit == "size":
+        text = (f"target: {target.name}\ncode: {image.code_size}\n"
+                f"data: {len(image.data)}\nbss: {image.bss_size}\n"
+                f"total: {image.total_size}\n")
+    else:
+        text = "".join(
+            print_machine_function(f.machine_fn) + "\n"
+            for f in image.functions
+        )
+    if args.o == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.o, "w") as handle:
+            handle.write(text)
+    return 0
+
+
+_TOOLS = {
+    "cc": lc_cc, "as": lc_as, "dis": lc_dis, "opt": lc_opt,
+    "link": lc_link, "run": lc_run, "llc": lc_llc,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in _TOOLS:
+        names = ", ".join(sorted(_TOOLS))
+        print(f"usage: python -m repro.tools <tool> [args]\ntools: {names}",
+              file=sys.stderr)
+        return 2
+    return _TOOLS[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""IR cloning utilities: remap-and-copy of instructions, blocks, functions.
+
+Shared by the inliner, the trace-formation runtime optimizer (which
+duplicates hot paths into traces), and function specialization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import types
+from ..core.basicblock import BasicBlock
+from ..core.instructions import (
+    AllocaInst, BinaryOperator, BranchInst, CallInst, CastInst, FreeInst,
+    GetElementPtrInst, Instruction, InvokeInst, LoadInst, MallocInst,
+    Opcode, PhiNode, ReturnInst, ShiftInst, StoreInst, SwitchInst,
+    UnwindInst, VAArgInst,
+)
+from ..core.module import Function, Module
+from ..core.values import Value
+
+
+def remap(value: Value, value_map: dict[int, Value]) -> Value:
+    """Translate one operand through the clone map (identity if absent)."""
+    return value_map.get(id(value), value)
+
+
+def clone_instruction(inst: Instruction, value_map: dict[int, Value],
+                      map_type=None) -> Instruction:
+    """Copy ``inst`` with operands translated through ``value_map``.
+
+    Block operands may map to not-yet-materialised blocks; callers must
+    pre-create all target blocks in the map before cloning bodies.
+    ``map_type`` translates explicitly-carried types (alloca/malloc
+    element types, cast/phi/vaarg result types) — the linker passes its
+    cross-module type unifier here; plain cloning leaves types alone.
+    """
+    get = lambda v: remap(v, value_map)  # noqa: E731
+    if map_type is None:
+        map_type = lambda t: t  # noqa: E731
+    op = inst.opcode
+    if isinstance(inst, ReturnInst):
+        value = inst.return_value
+        return ReturnInst(None if value is None else get(value))
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            return BranchInst(get(inst.operands[1]), get(inst.operands[0]),
+                              get(inst.operands[2]))
+        return BranchInst(get(inst.operands[0]))
+    if isinstance(inst, SwitchInst):
+        cases = [(get(v), get(d)) for v, d in inst.cases]
+        return SwitchInst(get(inst.value), get(inst.default_dest), cases)
+    if isinstance(inst, InvokeInst):
+        return InvokeInst(get(inst.callee), [get(a) for a in inst.args],
+                          get(inst.normal_dest), get(inst.unwind_dest), inst.name)
+    if isinstance(inst, UnwindInst):
+        return UnwindInst()
+    if isinstance(inst, BinaryOperator):
+        return BinaryOperator(op, get(inst.operands[0]), get(inst.operands[1]), inst.name)
+    if isinstance(inst, ShiftInst):
+        return ShiftInst(op, get(inst.value), get(inst.amount), inst.name)
+    if isinstance(inst, MallocInst):
+        size = inst.array_size
+        return MallocInst(map_type(inst.allocated_type),
+                          None if size is None else get(size), inst.name)
+    if isinstance(inst, AllocaInst):
+        size = inst.array_size
+        return AllocaInst(map_type(inst.allocated_type),
+                          None if size is None else get(size), inst.name)
+    if isinstance(inst, FreeInst):
+        return FreeInst(get(inst.pointer))
+    if isinstance(inst, LoadInst):
+        return LoadInst(get(inst.pointer), inst.name)
+    if isinstance(inst, StoreInst):
+        return StoreInst(get(inst.value), get(inst.pointer))
+    if isinstance(inst, GetElementPtrInst):
+        return GetElementPtrInst(get(inst.pointer), [get(i) for i in inst.indices], inst.name)
+    if isinstance(inst, PhiNode):
+        phi = PhiNode(map_type(inst.type), inst.name)
+        # Incoming entries are filled by the caller once all blocks exist.
+        return phi
+    if isinstance(inst, CastInst):
+        return CastInst(get(inst.value), map_type(inst.type), inst.name)
+    if isinstance(inst, CallInst):
+        return CallInst(get(inst.callee), [get(a) for a in inst.args], inst.name)
+    if isinstance(inst, VAArgInst):
+        return VAArgInst(get(inst.valist), map_type(inst.type), inst.name)
+    raise TypeError(f"cannot clone {inst!r}")
+
+
+def clone_body(source_blocks: list[BasicBlock], target_function: Function,
+               value_map: dict[int, Value],
+               name_suffix: str = "", map_type=None) -> list[BasicBlock]:
+    """Clone ``source_blocks`` into ``target_function``.
+
+    ``value_map`` may pre-map arguments (for inlining: formal -> actual)
+    and is extended with every cloned block and instruction.  Phi
+    incoming entries are remapped after all instructions exist.
+    Returns the cloned blocks in source order.
+    """
+    cloned_blocks: list[BasicBlock] = []
+    for source in source_blocks:
+        block = BasicBlock(source.name + name_suffix, parent=target_function)
+        value_map[id(source)] = block
+        cloned_blocks.append(block)
+    # Pass 1: typed placeholders for every result, so uses that precede
+    # their definition in block-layout order resolve.
+    placeholders: list[tuple[Instruction, Value]] = []
+    for source in source_blocks:
+        for inst in source.instructions:
+            if not inst.type.is_void and id(inst) not in value_map:
+                placeholder = Value(inst.type, inst.name)
+                value_map[id(inst)] = placeholder
+                placeholders.append((inst, placeholder))
+    # Pass 2: clone instructions (operands resolve to clones made so
+    # far, or to placeholders).
+    phis: list[tuple[PhiNode, PhiNode]] = []
+    for source, block in zip(source_blocks, cloned_blocks):
+        for inst in source.instructions:
+            cloned = clone_instruction(inst, value_map, map_type)
+            value_map[id(inst)] = cloned
+            block.instructions.append(cloned)
+            cloned.parent = block
+            if isinstance(inst, PhiNode):
+                phis.append((inst, cloned))
+    for source_phi, cloned_phi in phis:
+        for value, pred in source_phi.incoming:
+            mapped_pred = value_map.get(id(pred))
+            if mapped_pred is None:
+                continue  # predecessor outside the cloned region
+            cloned_phi.add_incoming(remap(value, value_map), mapped_pred)
+    # Pass 3: splice placeholders out.
+    for source_inst, placeholder in placeholders:
+        if placeholder.uses:
+            placeholder.replace_all_uses_with(value_map[id(source_inst)])
+    return cloned_blocks
+
+
+def clone_function(function: Function, new_name: str,
+                   module: Optional[Module] = None) -> Function:
+    """Deep-copy a function definition under a new name.
+
+    Used for specialization and for the offline reoptimizer's "duplicate
+    the original code into a trace" step.
+    """
+    target_module = module or function.parent
+    clone = Function(function.function_type, new_name, function.linkage,
+                     [a.name for a in function.args])
+    if target_module is not None:
+        target_module.add_function(clone)
+    value_map: dict[int, Value] = {}
+    for old_arg, new_arg in zip(function.args, clone.args):
+        value_map[id(old_arg)] = new_arg
+    clone_body(function.blocks, clone, value_map)
+    return clone

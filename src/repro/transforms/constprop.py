@@ -1,0 +1,37 @@
+"""Constant propagation: the simple worklist form.
+
+Folds instructions whose operands are all constants and propagates the
+results to their users; also folds branches on constants (leaving the
+CFG cleanup to SimplifyCFG).  For the flow-sensitive version that
+reasons about unreachable edges, see :mod:`repro.transforms.sccp`.
+"""
+
+from __future__ import annotations
+
+from ..core.module import Function
+from .utils import constant_fold_terminator, fold_instruction, replace_and_erase
+
+
+class ConstantPropagation:
+    """The pass object (see module docstring)."""
+
+    name = "constprop"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        worklist = [inst for block in function.blocks for inst in block.instructions]
+        while worklist:
+            inst = worklist.pop()
+            if inst.parent is None:
+                continue
+            folded = fold_instruction(inst)
+            if folded is None:
+                continue
+            worklist.extend(
+                user for user in inst.users() if user is not inst
+            )
+            replace_and_erase(inst, folded)
+            changed = True
+        for block in list(function.blocks):
+            changed |= constant_fold_terminator(block)
+        return changed

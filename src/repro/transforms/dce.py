@@ -1,0 +1,61 @@
+"""Dead code elimination: trivial (DCE) and aggressive (ADCE).
+
+ADCE assumes instructions are dead until proven otherwise (the same
+"assume dead until proven live" stance as the aggressive DGE/DAE passes
+in paper Table 2), so computation cycles that only feed themselves are
+removed — plain DCE cannot do that.
+"""
+
+from __future__ import annotations
+
+from ..core.instructions import Instruction, PhiNode
+from ..core.module import Function
+from ..core.values import UndefValue
+from .utils import delete_dead_instructions
+
+
+class DeadCodeElimination:
+    """Deletes trivially dead (unused, side-effect-free) instructions."""
+
+    name = "dce"
+
+    def run_on_function(self, function: Function) -> bool:
+        return delete_dead_instructions(function)
+
+
+class AggressiveDCE:
+    """Assumes everything dead; marks live from roots and deletes the rest.
+
+    Roots are instructions with observable effects (stores, calls,
+    terminators, ...).  Everything a live instruction uses becomes live.
+    Dead instructions — including cyclic phi webs — are deleted.
+    """
+
+    name = "adce"
+
+    def run_on_function(self, function: Function) -> bool:
+        live: set[int] = set()
+        worklist: list[Instruction] = []
+        for block in function.blocks:
+            for inst in block.instructions:
+                if inst.has_side_effects():
+                    live.add(id(inst))
+                    worklist.append(inst)
+        while worklist:
+            inst = worklist.pop()
+            for operand in inst.operands:
+                if isinstance(operand, Instruction) and id(operand) not in live:
+                    live.add(id(operand))
+                    worklist.append(operand)
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if id(inst) in live:
+                    continue
+                if inst.is_used:
+                    # Used only by other dead instructions; break the web.
+                    if not inst.type.is_void:
+                        inst.replace_all_uses_with(UndefValue(inst.type))
+                inst.erase_from_parent()
+                changed = True
+        return changed

@@ -1,0 +1,190 @@
+"""Instruction combining: algebraic peephole simplification.
+
+A worklist pass that canonicalizes and simplifies individual
+instructions using algebraic identities (``x+0``, ``x^x``, casts that
+lose nothing, multiplies by powers of two, ...).  Works uniformly on
+the typed low-level representation, so the same rules serve every
+source language.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import types
+from ..core.instructions import (
+    BinaryOperator, CastInst, GetElementPtrInst, Instruction, Opcode,
+    ShiftInst,
+)
+from ..core.module import Function
+from ..core.values import (
+    Constant, ConstantBool, ConstantInt, Value, null_value,
+)
+from .utils import fold_instruction, is_trivially_dead, replace_and_erase
+
+
+class InstCombine:
+    """The pass object (see module docstring)."""
+
+    name = "instcombine"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        worklist = [inst for block in function.blocks for inst in block.instructions]
+        while worklist:
+            inst = worklist.pop()
+            if inst.parent is None:
+                continue
+            if is_trivially_dead(inst):
+                inst.erase_from_parent()
+                changed = True
+                continue
+            folded = fold_instruction(inst)
+            if folded is not None:
+                worklist.extend(u for u in inst.users() if u is not inst)
+                replace_and_erase(inst, folded)
+                changed = True
+                continue
+            if _canonicalize(inst):
+                changed = True
+                worklist.append(inst)
+                continue
+            simplified = _simplify(inst)
+            if simplified is not None:
+                worklist.extend(u for u in inst.users() if u is not inst)
+                replace_and_erase(inst, simplified)
+                changed = True
+        return changed
+
+
+def _canonicalize(inst: Instruction) -> bool:
+    """Move constants to the right of commutative operators."""
+    if isinstance(inst, BinaryOperator) and inst.is_commutative:
+        lhs, rhs = inst.operands
+        if isinstance(lhs, Constant) and not isinstance(rhs, Constant):
+            inst.set_operand(0, rhs)
+            inst.set_operand(1, lhs)
+            return True
+    return False
+
+
+def _int_constant(value: Value, expected: int) -> bool:
+    return isinstance(value, ConstantInt) and value.value == expected
+
+
+def _all_ones(value: Value) -> bool:
+    if not isinstance(value, ConstantInt):
+        return False
+    ty = value.type
+    return value.value == ty.wrap(-1)  # type: ignore[attr-defined]
+
+
+def _is_zero(value: Value) -> bool:
+    return isinstance(value, Constant) and value.is_null_value() and not value.type.is_floating
+
+
+def _simplify(inst: Instruction) -> Optional[Value]:
+    if isinstance(inst, BinaryOperator):
+        return _simplify_binary(inst)
+    if isinstance(inst, ShiftInst):
+        if _int_constant(inst.amount, 0):
+            return inst.value
+        if _is_zero(inst.value):
+            return inst.value
+        return None
+    if isinstance(inst, CastInst):
+        return _simplify_cast(inst)
+    if isinstance(inst, GetElementPtrInst):
+        if inst.has_all_zero_indices() and inst.type is inst.pointer.type:
+            return inst.pointer
+        return None
+    return None
+
+
+def _simplify_binary(inst: BinaryOperator) -> Optional[Value]:
+    opcode = inst.opcode
+    lhs, rhs = inst.operands
+    ty = lhs.type
+    is_fp = ty.is_floating
+
+    if opcode == Opcode.ADD:
+        if _is_zero(rhs):
+            return lhs
+        return None
+    if opcode == Opcode.SUB:
+        if _is_zero(rhs):
+            return lhs
+        if lhs is rhs and not is_fp:
+            return null_value(ty)
+        return None
+    if opcode == Opcode.MUL:
+        if _int_constant(rhs, 1) or (is_fp and _fp_constant(rhs, 1.0)):
+            return lhs
+        if _is_zero(rhs):
+            return rhs  # x * 0 == 0 for integers
+        return None
+    if opcode == Opcode.DIV:
+        if _int_constant(rhs, 1) or (is_fp and _fp_constant(rhs, 1.0)):
+            return lhs
+        return None
+    if opcode == Opcode.AND:
+        if _is_zero(rhs):
+            return rhs
+        if _all_ones(rhs) or (ty.is_bool and _bool_constant(rhs, True)):
+            return lhs
+        if lhs is rhs:
+            return lhs
+        return None
+    if opcode == Opcode.OR:
+        if _is_zero(rhs) or (ty.is_bool and _bool_constant(rhs, False)):
+            return lhs
+        if _all_ones(rhs):
+            return rhs
+        if lhs is rhs:
+            return lhs
+        return None
+    if opcode == Opcode.XOR:
+        if _is_zero(rhs) or (ty.is_bool and _bool_constant(rhs, False)):
+            return lhs
+        if lhs is rhs:
+            return null_value(ty)
+        return None
+    if opcode in (Opcode.SETEQ, Opcode.SETLE, Opcode.SETGE):
+        if lhs is rhs and not is_fp:  # NaN != NaN, so skip floats
+            return ConstantBool(True)
+        return None
+    if opcode in (Opcode.SETNE, Opcode.SETLT, Opcode.SETGT):
+        if lhs is rhs and not is_fp:
+            return ConstantBool(False)
+        return None
+    return None
+
+
+def _fp_constant(value: Value, expected: float) -> bool:
+    from ..core.values import ConstantFP
+
+    return isinstance(value, ConstantFP) and value.value == expected
+
+
+def _bool_constant(value: Value, expected: bool) -> bool:
+    return isinstance(value, ConstantBool) and value.value is expected
+
+
+def _simplify_cast(inst: CastInst) -> Optional[Value]:
+    source = inst.value
+    if source.type is inst.type:
+        return source
+    if isinstance(source, CastInst):
+        # cast (cast X to B) to C == cast X to C when the middle step
+        # loses nothing.
+        inner = source.value
+        if types.is_losslessly_convertible(inner.type, source.type):
+            if inner.type is inst.type:
+                return inner
+            builder_parent = inst.parent
+            if builder_parent is not None:
+                replacement = CastInst(inner, inst.type)
+                index = builder_parent.instructions.index(inst)
+                builder_parent.insert(index, replacement)
+                return replacement
+    return None

@@ -1,0 +1,22 @@
+"""Interprocedural (link-time) optimizations — paper section 3.3.
+
+"Link time is the first phase of the compilation process where most of
+the program is available for analysis and transformation ... the
+link-time optimizations in LLVM operate on the LLVM representation
+directly, taking advantage of the semantic information it contains."
+"""
+
+from .dae import DeadArgumentElimination
+from .devirtualize import Devirtualize
+from .dge import DeadGlobalElimination
+from .heap2stack import HeapToStackPromotion
+from .inline import FunctionInlining
+from .internalize import Internalize
+from .ipcp import IPConstantPropagation
+from .prune_eh import PruneExceptionHandlers
+
+__all__ = [
+    "DeadArgumentElimination", "Devirtualize", "DeadGlobalElimination",
+    "HeapToStackPromotion", "FunctionInlining", "Internalize",
+    "IPConstantPropagation", "PruneExceptionHandlers",
+]

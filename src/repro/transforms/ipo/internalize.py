@@ -1,0 +1,38 @@
+"""Internalize: mark symbols internal after whole-program linking.
+
+After the linker has combined all translation units (paper section 3.3,
+"uniform, whole-program compilation"), only the entry point and an
+explicit API list need external linkage; everything else becomes
+internal, unlocking DGE/DAE/IPCP and single-call-site inlining.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...core.module import Linkage, Module
+
+
+class Internalize:
+    """The pass object (see module docstring)."""
+
+    name = "internalize"
+
+    def __init__(self, preserved: Iterable[str] = ("main",)):
+        self.preserved = set(preserved)
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for function in module.functions.values():
+            if function.is_declaration or function.name in self.preserved:
+                continue
+            if function.linkage == Linkage.EXTERNAL:
+                function.linkage = Linkage.INTERNAL
+                changed = True
+        for global_var in module.globals.values():
+            if global_var.is_declaration or global_var.name in self.preserved:
+                continue
+            if global_var.linkage == Linkage.EXTERNAL:
+                global_var.linkage = Linkage.INTERNAL
+                changed = True
+        return changed

@@ -1,0 +1,135 @@
+"""Loop-invariant code motion.
+
+Hoists computations whose operands are defined outside the loop into
+the loop preheader.  Only side-effect-free, non-trapping instructions
+move (loads move only when the loop contains no possible memory write —
+the conservative answer without running a full alias analysis).
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import split_critical_edge
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import Loop, LoopInfo
+from ..core.basicblock import BasicBlock
+from ..core.instructions import (
+    BinaryOperator, BranchInst, CastInst, GetElementPtrInst, Instruction,
+    LoadInst, Opcode, PhiNode, ShiftInst,
+)
+from ..core.module import Function
+from ..core.values import Constant, ConstantInt, Value
+
+
+class LICM:
+    """The pass object (see module docstring)."""
+
+    name = "licm"
+
+    def run_on_function(self, function: Function) -> bool:
+        loop_info = LoopInfo(function)
+        changed = False
+        # Process inner loops first so hoisted code can keep moving out.
+        loops = sorted(loop_info.all_loops(), key=lambda l: -l.depth)
+        for loop in loops:
+            changed |= self._process_loop(function, loop, loop_info.domtree)
+        return changed
+
+    def _process_loop(self, function: Function, loop: Loop,
+                      domtree: DominatorTree) -> bool:
+        preheader = loop.preheader()
+        if preheader is None:
+            preheader = _create_preheader(function, loop)
+            if preheader is None:
+                return False
+        loop_writes_memory = any(
+            inst.may_write_memory()
+            for block in loop.blocks
+            for inst in block.instructions
+        )
+        changed = False
+        moved = True
+        while moved:
+            moved = False
+            for block in loop.blocks:
+                for inst in list(block.instructions):
+                    if not _is_hoistable(inst, loop_writes_memory):
+                        continue
+                    if not _operands_invariant(inst, loop):
+                        continue
+                    if isinstance(inst, LoadInst) and not _dominates_exits(
+                        inst, loop, domtree
+                    ):
+                        # Hoisting a conditional load would speculate a
+                        # possibly-trapping memory access.
+                        continue
+                    block.instructions.remove(inst)
+                    inst.parent = None
+                    preheader.insert_before_terminator(inst)
+                    moved = True
+                    changed = True
+        return changed
+
+
+def _is_hoistable(inst: Instruction, loop_writes_memory: bool) -> bool:
+    if isinstance(inst, (CastInst, GetElementPtrInst, ShiftInst)):
+        return True
+    if isinstance(inst, BinaryOperator):
+        # div/rem by a possibly-zero value would hoist a trap onto paths
+        # that never executed it; require a non-zero constant divisor.
+        if inst.opcode in (Opcode.DIV, Opcode.REM):
+            divisor = inst.operands[1]
+            return isinstance(divisor, Constant) and not divisor.is_null_value()
+        return True
+    if isinstance(inst, LoadInst):
+        return not loop_writes_memory
+    return False
+
+
+def _dominates_exits(inst: Instruction, loop: Loop, domtree: DominatorTree) -> bool:
+    block = inst.parent
+    return all(
+        domtree.dominates_block(block, src) for src, _ in loop.exit_edges()
+    )
+
+
+def _operands_invariant(inst: Instruction, loop: Loop) -> bool:
+    for operand in inst.operands:
+        if isinstance(operand, Instruction) and loop.contains(operand.parent):
+            return False
+    return True
+
+
+def _create_preheader(function: Function, loop: Loop):
+    """Insert a dedicated preheader block before the loop header."""
+    outside = [
+        p for p in loop.header.unique_predecessors() if not loop.contains(p)
+    ]
+    if not outside:
+        return None
+    preheader = BasicBlock(f"{loop.header.name}.preheader")
+    position = function.blocks.index(loop.header)
+    function.blocks.insert(position, preheader)
+    preheader.parent = function
+    preheader.append(BranchInst(loop.header))
+    for phi in loop.header.phis():
+        incoming_values = []
+        for pred in outside:
+            value = phi.incoming_for_block(pred)
+            incoming_values.append((value, pred))
+        if len({id(v) for v, _ in incoming_values}) == 1:
+            merged: Value = incoming_values[0][0]
+        else:
+            merged_phi = PhiNode(phi.type, phi.name or "ph")
+            preheader.insert(0, merged_phi)
+            for value, pred in incoming_values:
+                merged_phi.add_incoming(value, pred)
+            merged = merged_phi
+        for _, pred in incoming_values:
+            phi.remove_incoming(pred)
+        phi.add_incoming(merged, preheader)
+    for pred in outside:
+        term = pred.terminator
+        for index, operand in enumerate(term.operands):
+            if operand is loop.header:
+                term.set_operand(index, preheader)
+    return preheader

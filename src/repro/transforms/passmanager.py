@@ -1,0 +1,111 @@
+"""Pass management: scheduling function and module passes over a module.
+
+The optimizations are "built into libraries, making it easy for
+front-ends to use them" (paper section 3.2); the pass manager is that
+library interface.  Passes are callables reporting whether they changed
+anything; the manager sequences them, optionally re-verifying after
+each pass so that a mis-transforming pass fails loudly at its own site.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Protocol, Sequence
+
+from ..core.module import Function, Module
+from ..core.verifier import verify_function, verify_module
+
+
+class FunctionPass(Protocol):
+    """A transformation over one function; returns True if it changed IR."""
+
+    name: str
+
+    def run_on_function(self, function: Function) -> bool: ...
+
+
+class ModulePass(Protocol):
+    """A transformation over a whole module; returns True if changed."""
+
+    name: str
+
+    def run_on_module(self, module: Module) -> bool: ...
+
+
+class PassTimings:
+    """Wall-clock time accumulated per pass name (paper Table 2 style)."""
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+        self.runs: dict[str, int] = {}
+
+    def record(self, name: str, elapsed: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.runs[name] = self.runs.get(name, 0) + 1
+
+    def report(self) -> str:
+        lines = [f"{name:24s} {secs:8.4f}s ({self.runs[name]} runs)"
+                 for name, secs in sorted(self.seconds.items())]
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a sequence of module/function passes over a module."""
+
+    def __init__(self, verify_each: bool = False):
+        self.passes: list[object] = []
+        self.verify_each = verify_each
+        self.timings = PassTimings()
+
+    def add(self, pass_obj) -> "PassManager":
+        if not hasattr(pass_obj, "run_on_function") and not hasattr(pass_obj, "run_on_module"):
+            raise TypeError(f"{pass_obj!r} is not a pass")
+        self.passes.append(pass_obj)
+        return self
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for pass_obj in self.passes:
+            start = time.perf_counter()
+            if hasattr(pass_obj, "run_on_module"):
+                this_changed = pass_obj.run_on_module(module)
+            else:
+                this_changed = False
+                for function in list(module.defined_functions()):
+                    if pass_obj.run_on_function(function):
+                        this_changed = True
+            self.timings.record(getattr(pass_obj, "name", type(pass_obj).__name__),
+                                time.perf_counter() - start)
+            changed |= this_changed
+            if self.verify_each and this_changed:
+                verify_module(module)
+        return changed
+
+    def run_until_fixpoint(self, module: Module, max_iterations: int = 8) -> int:
+        """Re-run the whole pipeline until nothing changes; returns iterations."""
+        for iteration in range(max_iterations):
+            if not self.run(module):
+                return iteration + 1
+        return max_iterations
+
+
+class FunctionPassAdaptor:
+    """Wrap a bare ``Callable[[Function], bool]`` as a function pass."""
+
+    def __init__(self, fn: Callable[[Function], bool], name: Optional[str] = None):
+        self._fn = fn
+        self.name = name or fn.__name__
+
+    def run_on_function(self, function: Function) -> bool:
+        return self._fn(function)
+
+
+class ModulePassAdaptor:
+    """Wrap a bare ``Callable[[Module], bool]`` as a module pass."""
+
+    def __init__(self, fn: Callable[[Module], bool], name: Optional[str] = None):
+        self._fn = fn
+        self.name = name or fn.__name__
+
+    def run_on_module(self, module: Module) -> bool:
+        return self._fn(module)

@@ -1,0 +1,117 @@
+"""Reassociation: reorder commutative expression trees to expose folding.
+
+Rewrites chains like ``(a + 4) + (b + 3)`` into ``(a + b) + 7`` by
+flattening trees of one commutative-associative opcode, folding the
+constants, and rebuilding with constants last.  The paper calls out
+reassociation as one of the optimizations that explicit ``getelementptr``
+address arithmetic is exposed to; this pass supplies it for the scalar
+component of address computations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import constfold
+from ..core.builder import IRBuilder
+from ..core.instructions import BinaryOperator, Instruction, Opcode
+from ..core.module import Function
+from ..core.values import Constant, Value
+from .utils import delete_dead_instructions
+
+#: Opcodes that are commutative and associative over their integral types.
+_REASSOCIABLE = (Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR)
+
+
+class Reassociate:
+    """The pass object (see module docstring)."""
+
+    name = "reassociate"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if inst.parent is None:
+                    continue
+                if self._reassociate(inst):
+                    changed = True
+        if changed:
+            delete_dead_instructions(function)
+        return changed
+
+    def _reassociate(self, inst: Instruction) -> bool:
+        if not isinstance(inst, BinaryOperator):
+            return False
+        if inst.opcode not in _REASSOCIABLE:
+            return False
+        if inst.type.is_floating:
+            return False  # FP reassociation changes results
+        # Only rewrite tree roots: an operand of the same opcode is a
+        # subtree we flatten from the top.
+        for user in inst.users():
+            if (isinstance(user, BinaryOperator) and user.opcode == inst.opcode
+                    and user.type is inst.type and user.parent is not None):
+                return False
+        leaves: list[Value] = []
+        constants: list[Constant] = []
+        count = 1
+        count += self._flatten(inst.operands[0], inst.opcode, leaves, constants)
+        count += self._flatten(inst.operands[1], inst.opcode, leaves, constants)
+        if count < 2 or not constants:
+            return False
+        if len(constants) == 1 and constants[0] is inst.operands[1]:
+            return False  # already in canonical (expr op constant) shape
+        folded: Optional[Constant] = constants[0]
+        for constant in constants[1:]:
+            folded = constfold.fold_binary(inst.opcode, folded, constant)
+            if folded is None:
+                return False
+        builder = IRBuilder()
+        builder.position_before(inst)
+        result: Optional[Value] = None
+        for leaf in leaves:
+            if result is None:
+                result = leaf
+            else:
+                result = builder._binary(inst.opcode, result, leaf, "reassoc")
+        if result is None:
+            result = folded
+        elif not _is_identity(inst.opcode, folded):
+            result = builder._binary(inst.opcode, result, folded, "reassoc")
+        if result is inst:
+            return False
+        inst.replace_all_uses_with(result)
+        inst.erase_from_parent()
+        return True
+
+    def _flatten(self, value: Value, opcode: Opcode,
+                 leaves: list[Value], constants: list[Constant]) -> int:
+        """Collect leaves/constants of the operator tree; returns node count."""
+        if isinstance(value, Constant):
+            constants.append(value)
+            return 0
+        # Only descend through single-use internal nodes: a shared
+        # subtree feeding other expressions must stay intact.
+        if (isinstance(value, BinaryOperator) and value.opcode == opcode
+                and value.parent is not None and len(value.uses) == 1):
+            count = 1
+            count += self._flatten(value.operands[0], opcode, leaves, constants)
+            count += self._flatten(value.operands[1], opcode, leaves, constants)
+            return count
+        leaves.append(value)
+        return 0
+
+
+def _is_identity(opcode: Opcode, constant: Constant) -> bool:
+    value = getattr(constant, "value", None)
+    if opcode in (Opcode.ADD, Opcode.OR, Opcode.XOR):
+        return value == 0
+    if opcode == Opcode.MUL:
+        return value == 1
+    if opcode == Opcode.AND:
+        ty = constant.type
+        if ty.is_integer:
+            return value == ty.wrap(-1)  # type: ignore[attr-defined]
+        return value is True
+    return False

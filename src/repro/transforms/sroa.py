@@ -1,0 +1,108 @@
+"""Scalar expansion: scalar replacement of aggregates (paper section 3.2).
+
+"Scalar expansion ... expands local structures to scalars wherever
+possible, so that their fields can be mapped to SSA registers as well."
+An ``alloca`` of a struct or small array whose address is used only in
+constant-index GEPs (whose results in turn are only loaded/stored) is
+split into one alloca per element; ``mem2reg`` then promotes those.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import types
+from ..core.instructions import (
+    AllocaInst, GetElementPtrInst, Instruction, LoadInst, StoreInst,
+)
+from ..core.module import Function
+from ..core.values import ConstantInt
+
+#: Arrays bigger than this stay in memory (splitting huge arrays into
+#: thousands of allocas would bloat the function for no benefit).
+MAX_ARRAY_ELEMENTS = 16
+
+
+class ScalarReplAggregates:
+    """The pass object (see module docstring)."""
+
+    name = "sroa"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        again = True
+        while again:  # splitting nested aggregates exposes more candidates
+            again = False
+            for block in function.blocks:
+                for inst in list(block.instructions):
+                    if isinstance(inst, AllocaInst) and _is_splittable(inst):
+                        _split(inst)
+                        changed = True
+                        again = True
+        return changed
+
+
+def _is_splittable(alloca: AllocaInst) -> bool:
+    ty = alloca.allocated_type
+    if alloca.array_size is not None:
+        return False
+    if ty.is_struct:
+        if ty.is_opaque or not ty.fields:
+            return False
+    elif ty.is_array:
+        if ty.count == 0 or ty.count > MAX_ARRAY_ELEMENTS:
+            return False
+    else:
+        return False
+    for use in alloca.uses:
+        user = use.user
+        if not isinstance(user, GetElementPtrInst):
+            return False
+        if user.pointer is not alloca:
+            return False  # alloca used as an index (absurd, but be safe)
+        if not user.has_all_constant_indices():
+            return False
+        indices = user.indices
+        if len(indices) < 2:
+            return False
+        first = indices[0]
+        if not isinstance(first, ConstantInt) or first.value != 0:
+            return False
+        if ty.is_array:
+            second = indices[1]
+            if not (0 <= second.value < ty.count):  # type: ignore[attr-defined]
+                return False
+    return True
+
+
+def _split(alloca: AllocaInst) -> None:
+    ty = alloca.allocated_type
+    if ty.is_struct:
+        element_types = list(ty.fields)
+    else:
+        element_types = [ty.element] * ty.count
+    block = alloca.parent
+    position = block.instructions.index(alloca)
+    pieces = []
+    for index, element_ty in enumerate(element_types):
+        piece = AllocaInst(element_ty, None, f"{alloca.name or 'agg'}.{index}")
+        block.insert(position, piece)
+        position += 1
+        pieces.append(piece)
+    for use in list(alloca.uses):
+        gep: GetElementPtrInst = use.user  # type: ignore[assignment]
+        element_index = gep.indices[1].value  # type: ignore[attr-defined]
+        piece = pieces[element_index]
+        remaining = gep.indices[2:]
+        if remaining:
+            # Deeper access: rebase the GEP onto the piece.
+            zero = ConstantInt(types.LONG, 0)
+            new_gep = GetElementPtrInst(piece, [zero, *remaining], gep.name)
+            gep_block = gep.parent
+            gep_position = gep_block.instructions.index(gep)
+            gep_block.insert(gep_position, new_gep)
+            gep.replace_all_uses_with(new_gep)
+        else:
+            gep.replace_all_uses_with(piece)
+        gep.erase_from_parent()
+    alloca.erase_from_parent()

@@ -1,0 +1,100 @@
+"""Tail-recursion elimination (paper section 3.2).
+
+"Tail-recursion elimination — which is crucial for functional languages
+— can be done in LLVM": a self-call whose result feeds directly into the
+following ``ret`` is rewritten into a jump back to the function entry,
+with arguments turned into phi nodes.  Language-independent by
+construction — the same pass serves C and any functional front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.basicblock import BasicBlock
+from ..core.instructions import (
+    BranchInst, CallInst, Instruction, PhiNode, ReturnInst,
+)
+from ..core.module import Function
+from ..core.values import Value
+
+
+class TailRecursionElimination:
+    """The pass object (see module docstring)."""
+
+    name = "tailrec"
+
+    def run_on_function(self, function: Function) -> bool:
+        tail_calls = _find_tail_calls(function)
+        if not tail_calls:
+            return False
+        header = _split_entry(function)
+        arg_phis = _introduce_argument_phis(function, header)
+        for call, ret in tail_calls:
+            block = call.parent
+            for phi, arg_value in zip(arg_phis, call.args):
+                phi.add_incoming(arg_value, block)
+            ret.erase_from_parent()
+            call.erase_from_parent()
+            block.append(BranchInst(header))
+        return True
+
+
+def _find_tail_calls(function: Function) -> list[tuple[CallInst, ReturnInst]]:
+    """Self-calls immediately followed by ``ret`` of the call's value."""
+    result = []
+    for block in function.blocks:
+        instructions = block.instructions
+        if len(instructions) < 2:
+            continue
+        ret = instructions[-1]
+        call = instructions[-2]
+        if not isinstance(ret, ReturnInst) or not isinstance(call, CallInst):
+            continue
+        if call.callee is not function:
+            continue
+        returned = ret.return_value
+        if function.return_type.is_void:
+            matches = returned is None
+        else:
+            matches = returned is call
+        if not matches:
+            continue
+        if not function.return_type.is_void and len(call.uses) != 1:
+            continue  # the value escapes beyond the ret
+        result.append((call, ret))
+    return result
+
+
+def _split_entry(function: Function) -> BasicBlock:
+    """Split the entry block after its allocas so the loop header starts
+    at the first real computation (allocas must stay in the entry)."""
+    entry = function.entry_block
+    from ..core.instructions import AllocaInst
+
+    index = 0
+    for index, inst in enumerate(entry.instructions):
+        if not isinstance(inst, AllocaInst):
+            break
+    header = entry.split_at(index, "tailrecurse")
+    return header
+
+
+def _introduce_argument_phis(function: Function, header: BasicBlock) -> list[PhiNode]:
+    entry = function.entry_block
+    phis = []
+    for arg in function.args:
+        phi = PhiNode(arg.type, f"{arg.name}.tr")
+        uses_to_rewrite = [
+            use for use in list(arg.uses)
+            if not (isinstance(use.user, PhiNode) and use.user is phi)
+        ]
+        header.insert(len(phis), phi)
+        phi.add_incoming(arg, entry)
+        for use in uses_to_rewrite:
+            user = use.user
+            if isinstance(user, Instruction) and user.parent is entry:
+                continue  # pre-loop uses (alloca sizes) keep the argument
+            user.set_operand(use.index, phi)
+        phis.append(phi)
+    return phis

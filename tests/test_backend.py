@@ -1,0 +1,230 @@
+"""Tests for native code generation: isel, phi elimination, register
+allocation, encoding, and image layout."""
+
+import pytest
+
+from repro.backend import (
+    SPARC, X86, CodeGenerator, InstructionSelector, LinearScanAllocator,
+    compile_for_size, print_machine_function,
+)
+from repro.backend.machine import MOp, is_phys
+from repro.backend.regalloc import FRAME_REG
+from repro.core import parse_module, print_module, verify_module
+from repro.frontend import compile_source
+
+
+def _machine(source: str, fn_name: str, target=X86):
+    module = parse_module(source)
+    selector = InstructionSelector(module)
+    machine_fn = selector.select_function(module.functions[fn_name])
+    return module, machine_fn
+
+
+LOOP = """
+int %f(int %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %done
+done:
+  ret int %i
+}
+"""
+
+
+class TestInstructionSelection:
+    def test_source_ir_unmutated(self):
+        module = parse_module(LOOP)
+        before = print_module(module)
+        InstructionSelector(module).select_function(module.functions["f"])
+        assert print_module(module) == before
+        verify_module(module)
+
+    def test_phi_becomes_copies(self):
+        _, machine_fn = _machine(LOOP, "f")
+        ops = [i.op for i in machine_fn.instructions()]
+        assert MOp.MOV in ops          # phi copies
+        assert MOp.CMPBR in ops        # fused compare-and-branch
+        assert MOp.RET in ops
+
+    def test_compare_branch_fusion(self):
+        _, machine_fn = _machine(LOOP, "f")
+        ops = [i.op for i in machine_fn.instructions()]
+        assert MOp.SETCC not in ops, "single-use compare fuses into the branch"
+
+    def test_standalone_compare_keeps_setcc(self):
+        _, machine_fn = _machine("""
+bool %f(int %a, int %b) {
+entry:
+  %c = setlt int %a, %b
+  ret bool %c
+}
+""", "f")
+        ops = [i.op for i in machine_fn.instructions()]
+        assert MOp.SETCC in ops
+
+    def test_global_access_folds_to_direct_form(self):
+        _, machine_fn = _machine("""
+%g = global int 5
+int %f() {
+entry:
+  %v = load int* %g
+  ret int %v
+}
+""", "f")
+        ops = [i.op for i in machine_fn.instructions()]
+        assert MOp.LOADG in ops
+        assert MOp.LA not in ops
+
+    def test_indexed_addressing(self):
+        _, machine_fn = _machine("""
+int %f(int* %base, long %i) {
+entry:
+  %p = getelementptr int* %base, long %i
+  %v = load int* %p
+  ret int %v
+}
+""", "f")
+        ops = [i.op for i in machine_fn.instructions()]
+        assert MOp.LOADX in ops
+        # And the GEP itself vanished (folded into the access).
+        assert MOp.ALUI not in ops or all(
+            i.sub != "mul" for i in machine_fn.instructions()
+            if i.op == MOp.ALUI
+        )
+
+    def test_struct_field_becomes_displacement(self):
+        _, machine_fn = _machine("""
+%pair = type { int, int }
+int %f(%pair* %p) {
+entry:
+  %f1 = getelementptr %pair* %p, long 0, uint 1
+  %v = load int* %f1
+  ret int %v
+}
+""", "f")
+        loads = [i for i in machine_fn.instructions() if i.op == MOp.LOAD]
+        assert loads and loads[0].imm == 4
+
+    def test_calls_and_malloc_lowering(self):
+        _, machine_fn = _machine("""
+declare int %callee(int %x)
+int %f() {
+entry:
+  %p = malloc int
+  %v = call int %callee(int 3)
+  free int* %p
+  ret int %v
+}
+""", "f")
+        symbols = [i.symbol for i in machine_fn.instructions() if i.op == MOp.CALL]
+        assert "__rt_malloc" in symbols
+        assert "__rt_free" in symbols
+        assert "callee" in symbols
+
+
+class TestRegisterAllocation:
+    def _allocate(self, source, fn_name="f", registers=8):
+        module, machine_fn = _machine(source, fn_name)
+        LinearScanAllocator(registers, fold_memory_operands=False).run(machine_fn)
+        return machine_fn
+
+    def test_all_registers_physical_after_allocation(self):
+        machine_fn = self._allocate(LOOP)
+        for inst in machine_fn.instructions():
+            for reg in inst.registers():
+                assert is_phys(reg), f"virtual register survived in {inst!r}"
+
+    def test_spilling_under_pressure(self):
+        # 12 simultaneously-live values into 4 registers (1 allocatable).
+        lines = [f"  %v{i} = add int %x, {i}" for i in range(12)]
+        partial_sums = ["  %s0 = add int %v0, %v1"]
+        for i in range(2, 12):
+            partial_sums.append(f"  %s{i-1} = add int %s{i-2}, %v{i}")
+        source = ("int %f(int %x) {\nentry:\n" + "\n".join(lines)
+                  + "\n" + "\n".join(partial_sums) + "\n  ret int %s10\n}")
+        machine_fn = self._allocate(source, registers=4)
+        assert machine_fn.frame_size > 0, "spill slots were allocated"
+        spill_stores = [
+            i for i in machine_fn.instructions()
+            if i.op == MOp.STORE and len(i.srcs) > 1 and i.srcs[1] == FRAME_REG
+        ]
+        assert spill_stores
+
+    def test_loop_crossing_values_extended(self):
+        machine_fn = self._allocate("""
+int %f(int %n, int %k) {
+entry:
+  %pre = mul int %k, 3
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %done
+done:
+  ret int %pre
+}
+""")
+        # %pre is defined before the loop and used after: its register
+        # must not be reused inside the loop.  We can't observe the
+        # assignment directly, but allocation must at least succeed and
+        # keep every register physical.
+        for inst in machine_fn.instructions():
+            for reg in inst.registers():
+                assert is_phys(reg)
+
+
+class TestEncoding:
+    def test_x86_variable_width(self):
+        module = compile_source("int main() { return 1 + 2 * 3; }", "enc")
+        image = compile_for_size(module, X86)
+        sizes = set()
+        for function in image.functions:
+            for block in function.machine_fn.blocks:
+                for inst in block.instructions:
+                    sizes.add(len(X86.encode_instr(inst, 0)))
+        assert len(sizes) > 1, "CISC encodings vary in width"
+
+    def test_sparc_word_multiples(self):
+        module = compile_source(
+            "int main() { int i; int s = 0; for (i=0;i<9;i++) { s += i; } return s; }",
+            "enc",
+        )
+        image = compile_for_size(module, SPARC)
+        for function in image.functions:
+            for block in function.machine_fn.blocks:
+                for inst in block.instructions:
+                    assert len(SPARC.encode_instr(inst, 0)) % 4 == 0
+
+    def test_image_layout(self):
+        module = compile_source("""
+static int data[100];
+static int initialized = 5;
+int main() { return initialized; }
+""", "img")
+        image = compile_for_size(module, X86)
+        assert image.bss_size >= 400          # zero data costs no file bytes
+        assert len(image.data) >= 4           # the initialized int
+        assert image.total_size == len(image.to_bytes())
+
+    def test_assembly_printer(self):
+        module = parse_module(LOOP)
+        machine_fn = InstructionSelector(module).select_function(
+            module.functions["f"]
+        )
+        listing = print_machine_function(machine_fn)
+        assert "cmpbr.lt" in listing
+        assert ".loop" in listing
+
+    def test_both_targets_compile_whole_benchmark(self):
+        from repro.benchsuite import compile_benchmark
+
+        module = compile_benchmark("mcf")
+        for target in (X86, SPARC):
+            image = compile_for_size(module, target)
+            assert image.code_size > 500
+            assert image.to_bytes()

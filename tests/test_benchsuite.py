@@ -1,0 +1,74 @@
+"""Tests over the synthetic SPEC-like benchmark suite: every program
+compiles, runs deterministically, and optimization preserves its output.
+
+(The Table 1 / Table 2 / Figure 5 *measurements* live under
+``benchmarks/``; these are correctness gates.)
+"""
+
+import pytest
+
+from repro.benchsuite import (
+    BENCHMARKS, benchmark_info, benchmark_names, compile_benchmark,
+    load_source,
+)
+from repro.core import verify_module
+from repro.execution import Interpreter
+from repro.frontend import compile_source
+
+#: A couple of heavier programs get a higher step allowance.
+STEP_LIMIT = 100_000_000
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)
+def _optimized(name):
+    return compile_benchmark(name)
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_compiles_and_verifies(name):
+    module = compile_source(load_source(name), name)
+    verify_module(module)
+    assert module.instruction_count() > 100, "suite programs are not toys"
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_optimization_preserves_output(name):
+    source = load_source(name)
+    unoptimized = compile_source(source, name)
+    raw = Interpreter(unoptimized, step_limit=STEP_LIMIT)
+    expected = raw.run("main")
+
+    optimized = _optimized(name)
+    verify_module(optimized)
+    cooked = Interpreter(optimized, step_limit=STEP_LIMIT)
+    assert cooked.run("main") == expected
+    assert cooked.output == raw.output
+    assert cooked.steps < raw.steps, "optimization should reduce work"
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_deterministic(name):
+    module = _optimized(name)
+    first = Interpreter(module, step_limit=STEP_LIMIT)
+    second = Interpreter(module, step_limit=STEP_LIMIT)
+    assert first.run("main") == second.run("main")
+    assert first.output == second.output
+
+
+def test_suite_covers_table1():
+    """Fifteen programs, one per SPEC CPU2000 C benchmark, in table order."""
+    assert len(BENCHMARKS) == 15
+    assert benchmark_names()[0] == "gzip"
+    assert benchmark_names()[-1] == "twolf"
+    info = benchmark_info("parser")
+    assert info.spec_name == "197.parser"
+    assert info.paper_typed_percent == 36.4
+
+
+def test_sources_are_substantial():
+    total_lines = sum(
+        len(load_source(name).splitlines()) for name in benchmark_names()
+    )
+    assert total_lines > 2000, "the suite should be a real corpus"

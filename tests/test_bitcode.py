@@ -1,0 +1,181 @@
+"""Tests for the binary bytecode representation (section 2.5/4.1.3)."""
+
+import pytest
+
+from repro.bitcode import BytecodeError, BytecodeWriter, read_bytecode, write_bytecode
+from repro.core import parse_module, print_module, verify_module
+from repro.execution import Interpreter
+from repro.frontend import compile_source
+
+
+def _roundtrip(source: str):
+    module = parse_module(source)
+    data = write_bytecode(module, strip_names=False)
+    decoded = read_bytecode(data)
+    verify_module(decoded)
+    assert print_module(decoded) == print_module(module)
+    return module, decoded, data
+
+
+class TestRoundTrips:
+    def test_functions_and_globals(self):
+        _roundtrip("""
+%counter = global int 5
+%text = internal constant [3 x sbyte] c"hi\\00"
+declare int %printf(sbyte* %fmt, ...)
+int %main(int %argc) {
+entry:
+  %v = load int* %counter
+  %r = add int %v, %argc
+  ret int %r
+}
+""")
+
+    def test_all_opcode_shapes(self):
+        _roundtrip("""
+%node = type { int, %node* }
+int %everything(int %a, int %b, bool %c, sbyte** %ap) {
+entry:
+  %add = add int %a, %b
+  %cmp = setlt int %add, 100
+  %shifted = shl int %add, ubyte 2
+  %wide = cast int %shifted to long
+  %narrow = cast long %wide to int
+  %n = malloc %node
+  %slot = alloca int
+  store int %narrow, int* %slot
+  %v = load int* %slot
+  %field = getelementptr %node* %n, long 0, uint 0
+  store int %v, int* %field
+  %va = vaarg sbyte** %ap, int
+  free %node* %n
+  br bool %cmp, label %left, label %right
+left:
+  br label %join
+right:
+  br label %join
+join:
+  %p = phi int [ %add, %left ], [ %va, %right ]
+  switch int %p, label %done [ int 1, label %done ]
+done:
+  ret int %p
+}
+""")
+
+    def test_invoke_unwind(self):
+        _roundtrip("""
+declare void %risky()
+int %f() {
+entry:
+  invoke void %risky() to label %ok unwind to label %no
+ok:
+  ret int 0
+no:
+  unwind
+}
+""")
+
+    def test_forward_references_across_layout(self):
+        # 'use' precedes 'def' in the block *layout* while being
+        # dominated by it in the CFG — the case the reader's typed
+        # placeholders exist for.
+        _roundtrip("""
+int %f(bool %c) {
+entry:
+  br label %def
+use:
+  %r = add int %value, 1
+  ret int %r
+def:
+  %value = add int 1, 2
+  br label %use
+}
+""")
+
+    def test_recursive_types(self):
+        module, decoded, _ = _roundtrip("""
+%tree = type { int, %tree*, %tree* }
+%root = global %tree* null
+""")
+        tree = decoded.named_types["tree"]
+        assert tree.fields[1].pointee is tree
+
+    def test_constant_expressions(self):
+        _roundtrip("""
+%arr = internal constant [4 x int] [ int 1, int 2, int 3, int 4 ]
+%third = global int* getelementptr ([4 x int]* %arr, long 0, long 2)
+%alias = global sbyte* cast ([4 x int]* %arr to sbyte*)
+""")
+
+    def test_fp_precision_preserved(self):
+        module, decoded, _ = _roundtrip("""
+%a = global double 0.1
+%b = global float 0.25
+""")
+        assert decoded.globals["a"].initializer.value == \
+            module.globals["a"].initializer.value
+
+    def test_semantics_preserved(self):
+        source = """
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+"""
+        module = compile_source(source, "fib")
+        expected = Interpreter(module).run("main")
+        decoded = read_bytecode(write_bytecode(module))
+        assert Interpreter(decoded).run("main") == expected == 144
+
+
+class TestStripping:
+    def test_stripped_is_smaller(self):
+        module = compile_source("""
+int compute_with_long_names(int meaningful_parameter) {
+  int carefully_named_local = meaningful_parameter * 2;
+  return carefully_named_local;
+}
+""", "named")
+        named = write_bytecode(module, strip_names=False)
+        stripped = write_bytecode(module, strip_names=True)
+        assert len(stripped) < len(named)
+
+    def test_stripped_still_executes(self):
+        module = compile_source(
+            "int main() { int x = 6; return x * 7; }", "strip"
+        )
+        decoded = read_bytecode(write_bytecode(module, strip_names=True))
+        verify_module(decoded)
+        assert Interpreter(decoded).run("main") == 42
+
+
+class TestEncodingShape:
+    def test_packed_word_majority(self):
+        module = compile_source("""
+int main() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 10; i++) { acc += i * i; }
+  return acc;
+}
+""", "enc")
+        writer = BytecodeWriter()
+        writer.write(module)
+        total = writer.packed_count + writer.escaped_count
+        assert writer.packed_count / total > 0.5
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BytecodeError, match="magic"):
+            read_bytecode(b"ELF\x7f" + b"\0" * 40)
+
+    def test_bad_version_rejected(self):
+        module = parse_module("%g = global int 1")
+        data = bytearray(write_bytecode(module))
+        data[4] = 99
+        with pytest.raises(BytecodeError, match="version"):
+            read_bytecode(bytes(data))
+
+    def test_deterministic_output(self):
+        module = compile_source("int main() { return 3; }", "det")
+        assert write_bytecode(module) == write_bytecode(module)

@@ -1,0 +1,135 @@
+"""Tests for the IRBuilder convenience API."""
+
+import pytest
+
+from repro.core import (
+    ConstantBool, ConstantInt, IRBuilder, Module, print_module, types,
+    verify_module,
+)
+from repro.core.instructions import Opcode
+from repro.execution import Interpreter
+
+
+def _fresh(ret=types.INT, params=(types.INT,)):
+    module = Module("b")
+    fn = module.new_function(types.function(ret, list(params)), "f")
+    builder = IRBuilder(fn.append_block("entry"))
+    return module, fn, builder
+
+
+class TestArithmeticHelpers:
+    def test_all_binary_helpers(self):
+        module, fn, builder = _fresh()
+        x = fn.args[0]
+        two = ConstantInt(types.INT, 2)
+        value = builder.add(x, two)
+        value = builder.sub(value, two)
+        value = builder.mul(value, two)
+        value = builder.div(value, two)
+        value = builder.rem(value, two)
+        value = builder.and_(value, two)
+        value = builder.or_(value, two)
+        value = builder.xor(value, two)
+        builder.ret(value)
+        verify_module(module)
+
+    def test_comparison_helpers(self):
+        module, fn, builder = _fresh(ret=types.BOOL)
+        x = fn.args[0]
+        two = ConstantInt(types.INT, 2)
+        for helper in (builder.seteq, builder.setne, builder.setlt,
+                       builder.setgt, builder.setle, builder.setge):
+            flag = helper(x, two)
+            assert flag.type is types.BOOL
+        builder.ret(flag)
+        verify_module(module)
+
+    def test_neg_lowering(self):
+        """There is no neg opcode: the builder emits 0 - x."""
+        module, fn, builder = _fresh()
+        builder.ret(builder.neg(fn.args[0]))
+        assert Interpreter(module).run("f", [17]) == -17
+        inst = fn.entry_block.instructions[0]
+        assert inst.opcode == Opcode.SUB
+        assert inst.operands[0].value == 0
+
+    def test_not_lowering(self):
+        """There is no not opcode: the builder emits x xor -1."""
+        module, fn, builder = _fresh()
+        builder.ret(builder.not_(fn.args[0]))
+        assert Interpreter(module).run("f", [0]) == -1
+        inst = fn.entry_block.instructions[0]
+        assert inst.opcode == Opcode.XOR
+
+    def test_bool_not(self):
+        module, fn, builder = _fresh(ret=types.BOOL, params=(types.BOOL,))
+        builder.ret(builder.not_(fn.args[0]))
+        assert Interpreter(module).run("f", [True]) is False
+
+    def test_cast_same_type_is_identity(self):
+        module, fn, builder = _fresh()
+        value = builder.cast(fn.args[0], types.INT)
+        assert value is fn.args[0]
+        builder.ret(value)
+
+
+class TestMemoryHelpers:
+    def test_struct_gep(self):
+        module, fn, builder = _fresh()
+        pair = types.struct([types.INT, types.INT])
+        slot = builder.alloca(pair)
+        field1 = builder.struct_gep(slot, 1)
+        builder.store(fn.args[0], field1)
+        builder.ret(builder.load(field1))
+        verify_module(module)
+        assert Interpreter(module).run("f", [5]) == 5
+
+    def test_array_gep(self):
+        module, fn, builder = _fresh()
+        arr = builder.alloca(types.array(types.INT, 8))
+        index = ConstantInt(types.LONG, 3)
+        slot = builder.array_gep(arr, index)
+        builder.store(fn.args[0], slot)
+        builder.ret(builder.load(slot))
+        assert Interpreter(module).run("f", [11]) == 11
+
+
+class TestPositioning:
+    def test_position_before(self):
+        module, fn, builder = _fresh()
+        x = fn.args[0]
+        last = builder.add(x, ConstantInt(types.INT, 1), "last")
+        builder.ret(last)
+        builder.position_before(last)
+        builder.add(x, ConstantInt(types.INT, 2), "first")
+        names = [i.name for i in fn.entry_block.instructions]
+        assert names == ["first", "last", ""]
+        verify_module(module)
+
+    def test_phi_inserted_at_block_top(self):
+        module, fn, builder = _fresh(params=(types.BOOL,))
+        a = fn.append_block("a")
+        b = fn.append_block("b")
+        join = fn.append_block("join")
+        builder.cond_br(fn.args[0], a, b)
+        IRBuilder(a).br(join)
+        IRBuilder(b).br(join)
+        join_builder = IRBuilder(join)
+        # Insert a non-phi first, then ask for a phi: it must go on top.
+        join_builder.ret(ConstantInt(types.INT, 0))
+        phi = IRBuilder(join).phi(types.INT)
+        assert join.instructions[0] is phi
+        phi.add_incoming(ConstantInt(types.INT, 1), a)
+        phi.add_incoming(ConstantInt(types.INT, 2), b)
+        verify_module(module)
+
+    def test_append_to_terminated_block_rejected(self):
+        module, fn, builder = _fresh()
+        builder.ret(fn.args[0])
+        with pytest.raises(ValueError, match="terminated"):
+            builder.add(fn.args[0], fn.args[0])
+
+    def test_unpositioned_builder_rejected(self):
+        builder = IRBuilder()
+        with pytest.raises(ValueError, match="insertion block"):
+            builder.ret_void()

@@ -1,0 +1,245 @@
+"""Unit + property tests for the shared evaluation semantics.
+
+:mod:`repro.core.constfold` is the single source of truth for opcode
+semantics (the interpreter and the optimizer both use it), so these
+tests pin down the C-like rules: two's-complement wrap, truncating
+division, sign-of-dividend remainder, source-signedness extension.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import constfold, types
+from repro.core.constfold import ArithmeticFault, eval_binary, eval_cast, eval_shift
+from repro.core.instructions import Opcode
+from repro.core.values import ConstantBool, ConstantFP, ConstantInt
+
+
+class TestIntegerArithmetic:
+    def test_add_wraps(self):
+        assert eval_binary(Opcode.ADD, types.SBYTE, 127, 1) == -128
+        assert eval_binary(Opcode.ADD, types.UBYTE, 255, 1) == 0
+
+    def test_sub_wraps(self):
+        assert eval_binary(Opcode.SUB, types.INT, -(2**31), 1) == 2**31 - 1
+
+    def test_mul_wraps(self):
+        assert eval_binary(Opcode.MUL, types.UBYTE, 16, 16) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert eval_binary(Opcode.DIV, types.INT, 7, 2) == 3
+        assert eval_binary(Opcode.DIV, types.INT, -7, 2) == -3
+        assert eval_binary(Opcode.DIV, types.INT, 7, -2) == -3
+        assert eval_binary(Opcode.DIV, types.INT, -7, -2) == 3
+
+    def test_rem_takes_dividend_sign(self):
+        assert eval_binary(Opcode.REM, types.INT, 7, 3) == 1
+        assert eval_binary(Opcode.REM, types.INT, -7, 3) == -1
+        assert eval_binary(Opcode.REM, types.INT, 7, -3) == 1
+        assert eval_binary(Opcode.REM, types.INT, -7, -3) == -1
+
+    def test_div_rem_identity(self):
+        for a in (-17, -3, 0, 5, 23):
+            for b in (-7, -1, 2, 9):
+                q = eval_binary(Opcode.DIV, types.INT, a, b)
+                r = eval_binary(Opcode.REM, types.INT, a, b)
+                assert q * b + r == a
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(ArithmeticFault):
+            eval_binary(Opcode.DIV, types.INT, 1, 0)
+        with pytest.raises(ArithmeticFault):
+            eval_binary(Opcode.REM, types.INT, 1, 0)
+
+    def test_bitwise_on_negative(self):
+        assert eval_binary(Opcode.AND, types.SBYTE, -1, 0x0F) == 15
+        assert eval_binary(Opcode.OR, types.SBYTE, -128, 1) == -127
+        assert eval_binary(Opcode.XOR, types.INT, -1, 0) == -1
+
+    def test_bool_logic(self):
+        assert eval_binary(Opcode.AND, types.BOOL, True, False) is False
+        assert eval_binary(Opcode.OR, types.BOOL, True, False) is True
+        assert eval_binary(Opcode.XOR, types.BOOL, True, True) is False
+
+    def test_comparisons(self):
+        assert eval_binary(Opcode.SETLT, types.INT, -1, 0) is True
+        assert eval_binary(Opcode.SETGE, types.UINT, 0, 0) is True
+        assert eval_binary(Opcode.SETNE, types.INT, 3, 3) is False
+
+
+class TestFloatArithmetic:
+    def test_float32_rounds_each_op(self):
+        result = eval_binary(Opcode.ADD, types.FLOAT, 0.1, 0.2)
+        import struct
+
+        expected = struct.unpack("<f", struct.pack("<f", 0.1 + 0.2))[0]
+        assert result == expected
+
+    def test_fp_division_by_zero_is_inf(self):
+        assert math.isinf(eval_binary(Opcode.DIV, types.DOUBLE, 1.0, 0.0))
+        assert math.isnan(eval_binary(Opcode.DIV, types.DOUBLE, 0.0, 0.0))
+
+    def test_fp_rem(self):
+        assert eval_binary(Opcode.REM, types.DOUBLE, 7.5, 2.0) == 1.5
+
+
+class TestShifts:
+    def test_shl(self):
+        assert eval_shift(Opcode.SHL, types.INT, 1, 4) == 16
+        assert eval_shift(Opcode.SHL, types.SBYTE, 1, 7) == -128
+
+    def test_shr_arithmetic_for_signed(self):
+        assert eval_shift(Opcode.SHR, types.INT, -8, 1) == -4
+
+    def test_shr_logical_for_unsigned(self):
+        assert eval_shift(Opcode.SHR, types.UINT, types.UINT.wrap(2**31), 31) == 1
+
+    def test_overwide_shifts_saturate(self):
+        assert eval_shift(Opcode.SHL, types.INT, 5, 40) == 0
+        assert eval_shift(Opcode.SHR, types.UINT, 5, 40) == 0
+        assert eval_shift(Opcode.SHR, types.INT, -5, 40) == -1
+        assert eval_shift(Opcode.SHR, types.INT, 5, 40) == 0
+
+
+class TestCasts:
+    def test_narrowing_reinterprets(self):
+        assert eval_cast(types.INT, types.SBYTE, 257) == 1
+        assert eval_cast(types.INT, types.UBYTE, -1) == 255
+
+    def test_widening_follows_source_signedness(self):
+        # LLVM 1.x rule: extension is driven by the *source* type.
+        assert eval_cast(types.SBYTE, types.ULONG, -1) == 2**64 - 1
+        assert eval_cast(types.UBYTE, types.LONG, 255) == 255
+
+    def test_int_to_bool(self):
+        assert eval_cast(types.INT, types.BOOL, 0) is False
+        assert eval_cast(types.INT, types.BOOL, -5) is True
+
+    def test_fp_to_int_truncates(self):
+        assert eval_cast(types.DOUBLE, types.INT, 2.9) == 2
+        assert eval_cast(types.DOUBLE, types.INT, -2.9) == -2
+
+    def test_fp_nan_inf_to_int(self):
+        assert eval_cast(types.DOUBLE, types.INT, math.nan) == 0
+        assert eval_cast(types.DOUBLE, types.INT, math.inf) == 0
+
+    def test_double_to_float_rounds(self):
+        import struct
+
+        rounded = eval_cast(types.DOUBLE, types.FLOAT, 0.1)
+        assert rounded == struct.unpack("<f", struct.pack("<f", 0.1))[0]
+
+    def test_pointer_int_round_trip(self):
+        address = 0x123456789A
+        as_int = eval_cast(types.pointer(types.INT), types.ULONG, address)
+        back = eval_cast(types.ULONG, types.pointer(types.INT), as_int)
+        assert back == address
+
+    def test_bool_to_fp(self):
+        assert eval_cast(types.BOOL, types.DOUBLE, True) == 1.0
+
+
+class TestConstantFolding:
+    def test_fold_binary(self):
+        folded = constfold.fold_binary(
+            Opcode.ADD, ConstantInt(types.INT, 2), ConstantInt(types.INT, 3)
+        )
+        assert folded.value == 5
+
+    def test_fold_comparison_gives_bool(self):
+        folded = constfold.fold_binary(
+            Opcode.SETLT, ConstantInt(types.INT, 1), ConstantInt(types.INT, 2)
+        )
+        assert isinstance(folded, ConstantBool) and folded.value is True
+
+    def test_fold_division_by_zero_refused(self):
+        folded = constfold.fold_binary(
+            Opcode.DIV, ConstantInt(types.INT, 1), ConstantInt(types.INT, 0)
+        )
+        assert folded is None
+
+    def test_fold_undef_refused(self):
+        from repro.core.values import UndefValue
+
+        folded = constfold.fold_binary(
+            Opcode.ADD, ConstantInt(types.INT, 1), UndefValue(types.INT)
+        )
+        assert folded is None
+
+    def test_fold_cast(self):
+        folded = constfold.fold_cast(ConstantInt(types.INT, 300), types.SBYTE)
+        assert folded.value == types.SBYTE.wrap(300)
+
+    def test_fold_cast_null_pointer(self):
+        from repro.core.values import ConstantPointerNull
+
+        null = ConstantPointerNull(types.pointer(types.INT))
+        folded = constfold.fold_cast(null, types.LONG)
+        assert folded.value == 0
+
+    def test_fold_shift(self):
+        folded = constfold.fold_shift(
+            Opcode.SHL, ConstantInt(types.INT, 3),
+            ConstantInt(types.UBYTE, 2),
+        )
+        assert folded.value == 12
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the evaluator is total and in-range over its domain.
+# ---------------------------------------------------------------------------
+
+_INT_TYPES = [types.SBYTE, types.UBYTE, types.SHORT, types.USHORT,
+              types.INT, types.UINT, types.LONG, types.ULONG]
+_ARITH = [Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR]
+
+
+@given(
+    st.sampled_from(_INT_TYPES),
+    st.sampled_from(_ARITH),
+    st.integers(), st.integers(),
+)
+def test_binary_results_stay_in_range(ty, opcode, raw_a, raw_b):
+    a, b = ty.wrap(raw_a), ty.wrap(raw_b)
+    result = eval_binary(opcode, ty, a, b)
+    assert ty.min_value <= result <= ty.max_value
+
+
+@given(st.sampled_from(_INT_TYPES), st.integers(),
+       st.integers(min_value=0, max_value=255))
+def test_shift_results_stay_in_range(ty, raw, amount):
+    value = ty.wrap(raw)
+    for opcode in (Opcode.SHL, Opcode.SHR):
+        result = eval_shift(opcode, ty, value, amount)
+        assert ty.min_value <= result <= ty.max_value
+
+
+@given(st.sampled_from(_INT_TYPES), st.sampled_from(_INT_TYPES), st.integers())
+def test_cast_results_stay_in_range(src, dst, raw):
+    value = src.wrap(raw)
+    result = eval_cast(src, dst, value)
+    assert dst.min_value <= result <= dst.max_value
+
+
+@given(st.sampled_from(_INT_TYPES), st.integers())
+def test_cast_to_same_width_is_bijective(ty, raw):
+    value = ty.wrap(raw)
+    other = types.integer(ty.bits, not ty.signed)
+    there = eval_cast(ty, other, value)
+    back = eval_cast(other, ty, there)
+    assert back == value
+
+
+@given(st.sampled_from(_INT_TYPES), st.integers(), st.integers())
+def test_fold_matches_eval(ty, raw_a, raw_b):
+    """Constant folding must agree with direct evaluation (the property
+    that keeps the optimizer and the interpreter in sync)."""
+    a, b = ty.wrap(raw_a), ty.wrap(raw_b)
+    for opcode in (Opcode.ADD, Opcode.MUL, Opcode.SETLT, Opcode.SETEQ):
+        folded = constfold.fold_binary(
+            opcode, ConstantInt(ty, a), ConstantInt(ty, b)
+        )
+        direct = eval_binary(opcode, ty, a, b)
+        assert folded.value == direct

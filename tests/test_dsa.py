@@ -1,0 +1,290 @@
+"""Tests for Data Structure Analysis: points-to structure, type
+speculation, collapse rules, and the Table 1 typed-access verdicts."""
+
+import pytest
+
+from repro.analysis.dsa import DataStructureAnalysis, _fold_arrays
+from repro.core import parse_module, types
+from repro.core.instructions import LoadInst, StoreInst
+from repro.driver import compile_and_link
+from repro.frontend import compile_source
+
+
+def _analyse(source: str, lc: bool = False):
+    if lc:
+        module = compile_and_link([source], "t")
+    else:
+        module = parse_module(source)
+    return module, DataStructureAnalysis(module)
+
+
+def _verdicts(module, dsa):
+    results = {}
+    for fn in module.defined_functions():
+        for inst in fn.instructions():
+            if isinstance(inst, LoadInst):
+                results[inst.name or id(inst)] = dsa.is_typed_access(
+                    inst.pointer, inst.type
+                )
+            elif isinstance(inst, StoreInst):
+                key = f"store.{inst.pointer.name or id(inst)}"
+                results[key] = dsa.is_typed_access(
+                    inst.pointer, inst.value.type
+                )
+    return results
+
+
+class TestTypedVerdicts:
+    def test_clean_struct_access_typed(self):
+        module, dsa = _analyse("""
+%pair = type { int, double }
+int %f() {
+entry:
+  %p = malloc %pair
+  %f0 = getelementptr %pair* %p, long 0, uint 0
+  store int 1, int* %f0
+  %v = load int* %f0
+  ret int %v
+}
+""")
+        assert all(_verdicts(module, dsa).values())
+
+    def test_mistyped_access_collapses(self):
+        module, dsa = _analyse("""
+%pair = type { int, int }
+int %f() {
+entry:
+  %p = malloc %pair
+  %raw = cast %pair* %p to double*
+  store double 1.0, double* %raw
+  %f0 = getelementptr %pair* %p, long 0, uint 0
+  %v = load int* %f0
+  ret int %v
+}
+""")
+        verdicts = _verdicts(module, dsa)
+        assert not any(verdicts.values()), "the bad store poisons the node"
+
+    def test_void_star_round_trip_stays_typed(self):
+        """Paper footnote 8: DSA extracts types for objects stored into
+        and loaded out of generic void* (here: sbyte*) structures."""
+        module, dsa = _analyse("""
+%box = type { sbyte* }
+int %f() {
+entry:
+  %obj = malloc int
+  store int 7, int* %obj
+  %b = malloc %box
+  %slot = getelementptr %box* %b, long 0, uint 0
+  %erased = cast int* %obj to sbyte*
+  store sbyte* %erased, sbyte** %slot
+  %back = load sbyte** %slot
+  %typed = cast sbyte* %back to int*
+  %v = load int* %typed
+  ret int %v
+}
+""")
+        verdicts = _verdicts(module, dsa)
+        assert verdicts["v"], "the int object stays typed through the box"
+
+    def test_stride_mismatch_collapses(self):
+        module, dsa = _analyse("""
+%rec = type { int, int, int }
+int %f(long %i) {
+entry:
+  %p = malloc %rec
+  %words = cast %rec* %p to int*
+  %slot = getelementptr int* %words, long %i
+  %v = load int* %slot
+  %f0 = getelementptr %rec* %p, long 0, uint 0
+  %w = load int* %f0
+  %s = add int %v, %w
+  ret int %s
+}
+""")
+        verdicts = _verdicts(module, dsa)
+        assert not verdicts["w"], "int-stepping over a struct collapses it"
+
+    def test_int_to_pointer_is_unknown(self):
+        module, dsa = _analyse("""
+int %f(long %addr) {
+entry:
+  %p = cast long %addr to int*
+  %v = load int* %p
+  ret int %v
+}
+""")
+        assert not _verdicts(module, dsa)["v"]
+
+    def test_external_call_poisons_argument(self):
+        module, dsa = _analyse("""
+declare void %mystery(int* %p)
+int %f() {
+entry:
+  %p = malloc int
+  call void %mystery(int* %p)
+  %v = load int* %p
+  ret int %v
+}
+""")
+        assert not _verdicts(module, dsa)["v"]
+
+    def test_known_safe_external_does_not_poison(self):
+        module, dsa = _analyse("""
+declare int %print_int(int %x)
+int %f() {
+entry:
+  %p = malloc int
+  store int 3, int* %p
+  %v = load int* %p
+  %r = call int %print_int(int %v)
+  ret int %v
+}
+""")
+        assert _verdicts(module, dsa)["v"]
+
+    def test_array_folding(self):
+        assert _fold_arrays(types.array(types.INT, 8)) is types.INT
+        assert _fold_arrays(
+            types.array(types.array(types.SBYTE, 2), 3)
+        ) is types.SBYTE
+        module, dsa = _analyse("""
+%buf = internal global [16 x int] zeroinitializer
+int %f(long %i) {
+entry:
+  %p = getelementptr [16 x int]* %buf, long 0, long %i
+  %v = load int* %p
+  ret int %v
+}
+""")
+        assert _verdicts(module, dsa)["v"]
+
+    def test_interprocedural_unification(self):
+        """A callee's bad access poisons the caller's object."""
+        module, dsa = _analyse("""
+%rec = type { int, int }
+internal void %bad(%rec* %p) {
+entry:
+  %raw = cast %rec* %p to long*
+  store long 1, long* %raw
+  ret void
+}
+int %f() {
+entry:
+  %p = malloc %rec
+  call void %bad(%rec* %p)
+  %f0 = getelementptr %rec* %p, long 0, uint 0
+  %v = load int* %f0
+  ret int %v
+}
+""")
+        assert not _verdicts(module, dsa)["v"]
+
+    def test_phi_of_field_pointers(self):
+        """Merging two pointers to the *same field* of different objects
+        must not collapse anything (the offset-forwarding case)."""
+        module, dsa = _analyse("""
+%rec = type { int, int }
+int %f(bool %c) {
+entry:
+  %a = malloc %rec
+  %b = malloc %rec
+  br bool %c, label %left, label %right
+left:
+  %fa = getelementptr %rec* %a, long 0, uint 1
+  br label %join
+right:
+  %fb = getelementptr %rec* %b, long 0, uint 1
+  br label %join
+join:
+  %p = phi int* [ %fa, %left ], [ %fb, %right ]
+  %v = load int* %p
+  ret int %v
+}
+""")
+        assert _verdicts(module, dsa)["v"]
+
+
+class TestCustomAllocatorPattern:
+    SOURCE = """
+struct Obj { int a; int b; };
+typedef struct Obj Obj;
+static char *pool = null;
+static long cursor = 0;
+static char *my_alloc(long n) {
+  if (pool == null) { pool = malloc(char, 4096); }
+  char *p = pool + cursor;
+  cursor = cursor + n;
+  return p;
+}
+int main() {
+  Obj *o = (Obj*)my_alloc(sizeof(Obj));
+  o->a = 1;
+  o->b = 2;
+  return o->a + o->b;
+}
+"""
+
+    def test_pool_objects_untyped(self):
+        module, dsa = _analyse(self.SOURCE, lc=True)
+        report = dsa.report()
+        assert report.untyped > 0
+        # Scalar globals remain typed: the fraction is neither 0 nor 100.
+        assert 0 < report.typed_percent < 100
+
+    def test_typed_malloc_equivalent_is_typed(self):
+        source = """
+struct Obj { int a; int b; };
+typedef struct Obj Obj;
+int main() {
+  Obj *o = malloc(Obj);
+  o->a = 1;
+  o->b = 2;
+  return o->a + o->b;
+}
+"""
+        module, dsa = _analyse(source, lc=True)
+        assert dsa.report().typed_percent == 100.0
+
+
+class TestAliasQueries:
+    def test_distinct_structures_disjoint(self):
+        module, dsa = _analyse("""
+%node = type { int, %node* }
+void %f() {
+entry:
+  %list1 = malloc %node
+  %list2 = malloc %node
+  ret void
+}
+""")
+        fn = module.functions["f"]
+        a, b = list(fn.instructions())[:2]
+        assert not dsa.may_alias(a, b)
+
+    def test_linked_objects_merge(self):
+        module, dsa = _analyse("""
+%node = type { int, %node* }
+void %f() {
+entry:
+  %a = malloc %node
+  %b = malloc %node
+  %next = getelementptr %node* %a, long 0, uint 1
+  store %node* %b, %node** %next
+  %loaded = load %node** %next
+  ret void
+}
+""")
+        fn = module.functions["f"]
+        instructions = list(fn.instructions())
+        b = instructions[1]
+        loaded = instructions[4]
+        assert dsa.may_alias(b, loaded)
+
+
+class TestReport:
+    def test_empty_module(self):
+        module = parse_module("%g = global int 1")
+        report = DataStructureAnalysis(module).report()
+        assert report.total == 0
+        assert report.typed_percent == 100.0

@@ -1,0 +1,228 @@
+"""Gap-filling edge-case tests across subsystems."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ConstantFP, ConstantInt, IRBuilder, Module, parse_module, print_module,
+    types, verify_module,
+)
+from repro.execution import Interpreter, MemoryFault
+from repro.frontend import compile_source
+
+
+class TestFloatSpecials:
+    def test_inf_nan_round_trip_text(self):
+        module = Module("fp")
+        module.new_global(types.DOUBLE, "pos_inf",
+                          ConstantFP(types.DOUBLE, math.inf))
+        module.new_global(types.DOUBLE, "neg_inf",
+                          ConstantFP(types.DOUBLE, -math.inf))
+        module.new_global(types.DOUBLE, "not_a_number",
+                          ConstantFP(types.DOUBLE, math.nan))
+        text = print_module(module)
+        again = parse_module(text)
+        assert math.isinf(again.globals["pos_inf"].initializer.value)
+        assert again.globals["neg_inf"].initializer.value < 0
+        assert math.isnan(again.globals["not_a_number"].initializer.value)
+        assert print_module(again) == text
+
+    def test_inf_nan_round_trip_bytecode(self):
+        from repro.bitcode import read_bytecode, write_bytecode
+
+        module = Module("fp")
+        module.new_global(types.DOUBLE, "weird",
+                          ConstantFP(types.DOUBLE, math.nan))
+        decoded = read_bytecode(write_bytecode(module))
+        assert math.isnan(decoded.globals["weird"].initializer.value)
+
+    def test_nan_comparison_semantics(self):
+        module = parse_module("""
+bool %f(double %x) {
+entry:
+  %eq = seteq double %x, %x
+  ret bool %eq
+}
+""")
+        assert Interpreter(module).run("f", [math.nan]) is False
+        assert Interpreter(module).run("f", [1.0]) is True
+
+    def test_float32_storage_rounds(self):
+        module = parse_module("""
+double %f() {
+entry:
+  %slot = alloca float
+  %v = cast double 0.1 to float
+  store float %v, float* %slot
+  %back = load float* %slot
+  %wide = cast float %back to double
+  ret double %wide
+}
+""")
+        result = Interpreter(module).run("f")
+        assert result != 0.1  # binary32 cannot hold 0.1 exactly
+        assert abs(result - 0.1) < 1e-7
+
+
+class TestWideIntegers:
+    def test_ulong_arithmetic(self):
+        module = parse_module("""
+ulong %f(ulong %x) {
+entry:
+  %big = mul ulong %x, 18446744073709551615
+  ret ulong %big
+}
+""")
+        # x * (2^64 - 1) == -x mod 2^64
+        assert Interpreter(module).run("f", [5]) == 2**64 - 5
+
+    def test_unsigned_comparison_against_signed(self):
+        module = parse_module("""
+bool %f() {
+entry:
+  %max = cast long -1 to ulong
+  %c = setgt ulong %max, 5
+  ret bool %c
+}
+""")
+        assert Interpreter(module).run("f") is True
+
+    def test_sbyte_wraparound_loop(self):
+        source = """
+int main() {
+  char c = 120;
+  int wraps = 0;
+  int i;
+  for (i = 0; i < 20; i++) {
+    c = c + 1;
+    if (c < 0) { wraps = wraps + 1; }
+  }
+  return wraps;
+}
+"""
+        module = compile_source(source, "wrap")
+        # c reaches +127 at i=6, wraps to -128 at i=7, and stays
+        # negative for i=7..19: 13 iterations.
+        assert Interpreter(module).run("main") == 13
+
+
+class TestLargeStructures:
+    def test_big_switch(self):
+        cases = "\n".join(
+            f"    case {i}: r = {i * 7}; break;" for i in range(40)
+        )
+        source = f"""
+int pick(int x) {{
+  int r = 0 - 1;
+  switch (x) {{
+{cases}
+    default: r = 9999;
+  }}
+  return r;
+}}
+int main() {{
+  return pick(13) + pick(39) + pick(100);
+}}
+"""
+        module = compile_source(source, "sw")
+        assert Interpreter(module).run("main") == 13 * 7 + 39 * 7 + 9999
+
+    def test_deeply_nested_structs(self):
+        source = """
+struct L3 { int payload; };
+struct L2 { struct L3 inner; int pad; };
+struct L1 { struct L2 middle; int pad; };
+typedef struct L1 L1;
+int main() {
+  L1 box;
+  box.middle.inner.payload = 77;
+  return box.middle.inner.payload;
+}
+"""
+        module = compile_source(source, "nest")
+        verify_module(module)
+        assert Interpreter(module).run("main") == 77
+
+    def test_array_of_structs(self):
+        source = """
+struct Cell { int key; int value; };
+typedef struct Cell Cell;
+static Cell table[10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    table[i].key = i;
+    table[i].value = i * i;
+  }
+  return table[7].value + table[3].key;
+}
+"""
+        module = compile_source(source, "aos")
+        assert Interpreter(module).run("main") == 49 + 3
+
+    def test_many_arguments(self):
+        params = ", ".join(f"int a{i}" for i in range(12))
+        total = " + ".join(f"a{i}" for i in range(12))
+        args = ", ".join(str(i) for i in range(12))
+        source = f"""
+static int big({params}) {{ return {total}; }}
+int main() {{ return big({args}); }}
+"""
+        module = compile_source(source, "args")
+        assert Interpreter(module).run("main") == sum(range(12))
+
+
+class TestPrintfVarargsFrontend:
+    def test_printf_through_lc(self):
+        source = r"""
+extern int printf(char *fmt, ...);
+int main() {
+  printf("%d + %d = %d%c", 2, 3, 2 + 3, '!');
+  return 0;
+}
+"""
+        module = compile_source(source, "pf")
+        interp = Interpreter(module)
+        interp.run("main")
+        assert "".join(interp.output) == "2 + 3 = 5!"
+
+
+class TestDeepRecursion:
+    def test_thousands_of_frames(self):
+        """The explicit-frame interpreter is immune to Python's
+        recursion limit."""
+        source = """
+static int down(int n) {
+  if (n == 0) { return 0; }
+  return down(n - 1) + 1;
+}
+int main() { return down(5000); }
+"""
+        module = compile_source(source, "deep")
+        assert Interpreter(module).run("main") == 5000
+
+
+class TestMemoryLimits:
+    def test_huge_allocation_rejected(self):
+        module = parse_module("""
+void %main() {
+entry:
+  %p = malloc sbyte, uint 2147483647
+  ret void
+}
+""")
+        with pytest.raises(MemoryFault, match="out of range"):
+            Interpreter(module).run("main")
+
+    def test_zero_sized_malloc_is_valid_pointer(self):
+        module = parse_module("""
+bool %main() {
+entry:
+  %p = malloc sbyte, uint 0
+  %nonnull = setne sbyte* %p, null
+  free sbyte* %p
+  ret bool %nonnull
+}
+""")
+        assert Interpreter(module).run("main") is True

@@ -1,0 +1,553 @@
+"""Tests for the execution engine: memory model, control flow,
+exceptions, varargs, externals, and fault behaviour."""
+
+import pytest
+
+from repro.core import parse_module, types
+from repro.execution import (
+    ExecutionError, Interpreter, MemoryFault, StepLimitExceeded,
+    UndefinedFunction, UnhandledUnwind,
+)
+from repro.execution.memory import Memory
+from repro.core.datalayout import DEFAULT
+
+
+def _run(source: str, fn: str = "main", args=()):
+    module = parse_module(source)
+    interp = Interpreter(module)
+    return interp.run(fn, args), interp
+
+
+class TestArithmetic:
+    def test_wrapping(self):
+        result, _ = _run("""
+int %main() {
+entry:
+  %big = mul int 2000000000, 2
+  ret int %big
+}
+""")
+        assert result == types.INT.wrap(4000000000)
+
+    def test_signed_division(self):
+        result, _ = _run("""
+int %main() {
+entry:
+  %q = div int -7, 2
+  ret int %q
+}
+""")
+        assert result == -3
+
+    def test_division_by_zero_faults(self):
+        module = parse_module("""
+int %main(int %d) {
+entry:
+  %q = div int 10, %d
+  ret int %q
+}
+""")
+        from repro.core.constfold import ArithmeticFault
+
+        with pytest.raises(ArithmeticFault):
+            Interpreter(module).run("main", [0])
+
+    def test_float_math(self):
+        result, _ = _run("""
+double %main() {
+entry:
+  %x = mul double 1.5, 4.0
+  %y = add double %x, 0.25
+  ret double %y
+}
+""")
+        assert result == 6.25
+
+
+class TestMemory:
+    def test_alloca_store_load(self):
+        result, _ = _run("""
+int %main() {
+entry:
+  %slot = alloca int
+  store int 77, int* %slot
+  %v = load int* %slot
+  ret int %v
+}
+""")
+        assert result == 77
+
+    def test_malloc_free(self):
+        result, interp = _run("""
+int %main() {
+entry:
+  %p = malloc int
+  store int 5, int* %p
+  %v = load int* %p
+  free int* %p
+  ret int %v
+}
+""")
+        assert result == 5
+        assert interp.memory.live_allocations("heap") == 0
+
+    def test_null_dereference_faults(self):
+        module = parse_module("""
+int %main(int* %p) {
+entry:
+  %v = load int* %p
+  ret int %v
+}
+""")
+        with pytest.raises(MemoryFault, match="null"):
+            Interpreter(module).run("main", [0])
+
+    def test_out_of_bounds_faults(self):
+        module = parse_module("""
+int %main() {
+entry:
+  %arr = alloca [2 x int]
+  %p = getelementptr [2 x int]* %arr, long 0, long 5
+  %v = load int* %p
+  ret int %v
+}
+""")
+        with pytest.raises(MemoryFault, match="overruns"):
+            Interpreter(module).run("main")
+
+    def test_use_after_free_faults(self):
+        module = parse_module("""
+int %main() {
+entry:
+  %p = malloc int
+  free int* %p
+  %v = load int* %p
+  ret int %v
+}
+""")
+        with pytest.raises(MemoryFault, match="unmapped"):
+            Interpreter(module).run("main")
+
+    def test_double_free_faults(self):
+        module = parse_module("""
+void %main() {
+entry:
+  %p = malloc int
+  free int* %p
+  free int* %p
+  ret void
+}
+""")
+        with pytest.raises(MemoryFault):
+            Interpreter(module).run("main")
+
+    def test_stack_freed_on_return(self):
+        _, interp = _run("""
+internal void %frame() {
+entry:
+  %local = alloca [16 x int]
+  ret void
+}
+void %main() {
+entry:
+  call void %frame()
+  call void %frame()
+  ret void
+}
+""")
+        assert interp.memory.live_allocations("stack") == 0
+
+    def test_write_to_constant_faults(self):
+        module = parse_module("""
+%table = internal constant [2 x int] [ int 1, int 2 ]
+void %main() {
+entry:
+  %p = getelementptr [2 x int]* %table, long 0, long 0
+  store int 9, int* %p
+  ret void
+}
+""")
+        with pytest.raises(MemoryFault, match="constant"):
+            Interpreter(module).run("main")
+
+    def test_pointer_int_round_trip(self):
+        result, _ = _run("""
+int %main() {
+entry:
+  %p = malloc int
+  store int 31, int* %p
+  %as_long = cast int* %p to long
+  %back = cast long %as_long to int*
+  %v = load int* %back
+  ret int %v
+}
+""")
+        assert result == 31
+
+    def test_byte_punning(self):
+        """Store an int, read its low byte through a char view —
+        little-endian, like the flat memory model promises."""
+        result, _ = _run("""
+int %main() {
+entry:
+  %slot = alloca int
+  store int 258, int* %slot
+  %raw = cast int* %slot to sbyte*
+  %low = load sbyte* %raw
+  %v = cast sbyte %low to int
+  ret int %v
+}
+""")
+        assert result == 2
+
+    def test_struct_field_layout(self):
+        result, _ = _run("""
+%pair = type { sbyte, int }
+int %main() {
+entry:
+  %p = malloc %pair
+  %f1 = getelementptr %pair* %p, long 0, uint 1
+  store int 12, int* %f1
+  %v = load int* %f1
+  ret int %v
+}
+""")
+        assert result == 12
+
+
+class TestGlobals:
+    def test_initialized_global(self):
+        result, _ = _run("""
+%counter = global int 41
+int %main() {
+entry:
+  %v = load int* %counter
+  %v1 = add int %v, 1
+  store int %v1, int* %counter
+  %w = load int* %counter
+  ret int %w
+}
+""")
+        assert result == 42
+
+    def test_global_array_and_string(self):
+        result, _ = _run("""
+%text = internal constant [3 x sbyte] c"ab\\00"
+int %main() {
+entry:
+  %p = getelementptr [3 x sbyte]* %text, long 0, long 1
+  %c = load sbyte* %p
+  %v = cast sbyte %c to int
+  ret int %v
+}
+""")
+        assert result == ord("b")
+
+    def test_global_pointing_to_global(self):
+        result, _ = _run("""
+%target = global int 99
+%indirect = global int* getelementptr (int* %target, long 0)
+int %main() {
+entry:
+  %p = load int** %indirect
+  %v = load int* %p
+  ret int %v
+}
+""")
+        assert result == 99
+
+
+class TestControlFlow:
+    def test_switch_dispatch(self):
+        module = parse_module("""
+int %main(int %x) {
+entry:
+  switch int %x, label %other [ int 1, label %one int 5, label %five ]
+one:
+  ret int 100
+five:
+  ret int 500
+other:
+  ret int -1
+}
+""")
+        interp = Interpreter(module)
+        assert interp.run("main", [1]) == 100
+        assert Interpreter(module).run("main", [5]) == 500
+        assert Interpreter(module).run("main", [9]) == -1
+
+    def test_phi_swap(self):
+        """Phis read their inputs simultaneously: the classic swap."""
+        result, _ = _run("""
+int %main() {
+entry:
+  br label %loop
+loop:
+  %a = phi int [ 1, %entry ], [ %b, %loop ]
+  %b = phi int [ 2, %entry ], [ %a, %loop ]
+  %i = phi int [ 0, %entry ], [ %i1, %loop ]
+  %i1 = add int %i, 1
+  %go = setlt int %i1, 3
+  br bool %go, label %loop, label %done
+done:
+  %r = mul int %a, 10
+  %r2 = add int %r, %b
+  ret int %r2
+}
+""")
+        # Two swaps happen on the two back edges: a=1, b=2 -> 12.  A
+        # (buggy) sequential phi evaluation would give a=b and 22.
+        assert result == 12
+
+    def test_indirect_call(self):
+        result, _ = _run("""
+internal int %double(int %x) {
+entry:
+  %r = mul int %x, 2
+  ret int %r
+}
+%fp = global int (int)* %double
+int %main() {
+entry:
+  %f = load int (int)** %fp
+  %v = call int (int)* %f(int 8)
+  ret int %v
+}
+""")
+        assert result == 16
+
+    def test_bad_function_pointer_faults(self):
+        module = parse_module("""
+int %main() {
+entry:
+  %p = cast long 12345 to int ()*
+  %v = call int ()* %p()
+  ret int %v
+}
+""")
+        with pytest.raises(MemoryFault):
+            Interpreter(module).run("main")
+
+    def test_step_limit(self):
+        module = parse_module("""
+void %main() {
+entry:
+  br label %forever
+forever:
+  br label %forever
+}
+""")
+        with pytest.raises(StepLimitExceeded):
+            Interpreter(module, step_limit=1000).run("main")
+
+
+class TestExceptions:
+    SOURCE = """
+internal void %thrower(int %x) {
+entry:
+  %bad = setgt int %x, 0
+  br bool %bad, label %boom, label %calm
+boom:
+  unwind
+calm:
+  ret void
+}
+int %main(int %x) {
+entry:
+  invoke void %thrower(int %x) to label %ok unwind to label %caught
+ok:
+  ret int 0
+caught:
+  ret int 1
+}
+"""
+
+    def test_invoke_normal_path(self):
+        module = parse_module(self.SOURCE)
+        assert Interpreter(module).run("main", [0]) == 0
+
+    def test_invoke_unwind_path(self):
+        module = parse_module(self.SOURCE)
+        assert Interpreter(module).run("main", [5]) == 1
+
+    def test_unwind_skips_frames(self):
+        result, _ = _run("""
+internal void %level3() {
+entry:
+  unwind
+}
+internal void %level2() {
+entry:
+  call void %level3()
+  ret void
+}
+internal void %level1() {
+entry:
+  call void %level2()
+  ret void
+}
+int %main() {
+entry:
+  invoke void %level1() to label %ok unwind to label %caught
+ok:
+  ret int 0
+caught:
+  ret int 7
+}
+""")
+        assert result == 7
+
+    def test_unhandled_unwind_raises(self):
+        module = parse_module("""
+void %main() {
+entry:
+  unwind
+}
+""")
+        with pytest.raises(UnhandledUnwind):
+            Interpreter(module).run("main")
+
+    def test_stack_released_during_unwind(self):
+        _, interp = _run("""
+internal void %deep(int %n) {
+entry:
+  %buf = alloca [8 x int]
+  %zero = seteq int %n, 0
+  br bool %zero, label %boom, label %go
+boom:
+  unwind
+go:
+  %n1 = sub int %n, 1
+  call void %deep(int %n1)
+  ret void
+}
+int %main() {
+entry:
+  invoke void %deep(int 10) to label %ok unwind to label %caught
+ok:
+  ret int 0
+caught:
+  ret int 1
+}
+""")
+        assert interp.memory.live_allocations("stack") == 0
+
+
+class TestExternals:
+    def test_printf(self):
+        _, interp = _run(r"""
+%fmt = internal constant [15 x sbyte] c"x=%d s=%s c=%c\00"
+%msg = internal constant [3 x sbyte] c"hi\00"
+declare int %printf(sbyte* %f, ...)
+void %main() {
+entry:
+  %f = getelementptr [15 x sbyte]* %fmt, long 0, long 0
+  %m = getelementptr [3 x sbyte]* %msg, long 0, long 0
+  %c = cast int 33 to sbyte
+  %n = call int (sbyte*, ...)* %printf(sbyte* %f, int 42, sbyte* %m, sbyte %c)
+  ret void
+}
+""")
+        assert "".join(interp.output) == "x=42 s=hi c=!"
+
+    def test_undefined_external_raises(self):
+        module = parse_module("""
+declare void %no_such_function()
+void %main() {
+entry:
+  call void %no_such_function()
+  ret void
+}
+""")
+        with pytest.raises(UndefinedFunction):
+            Interpreter(module).run("main")
+
+    def test_exit(self):
+        result, _ = _run("""
+declare void %exit(int %code)
+int %main() {
+entry:
+  call void %exit(int 3)
+  ret int 0
+}
+""")
+        assert result == 3
+
+    def test_strlen_strcmp(self):
+        result, _ = _run(r"""
+%a = internal constant [4 x sbyte] c"abc\00"
+declare long %strlen(sbyte* %s)
+int %main() {
+entry:
+  %p = getelementptr [4 x sbyte]* %a, long 0, long 0
+  %n = call long %strlen(sbyte* %p)
+  %v = cast long %n to int
+  ret int %v
+}
+""")
+        assert result == 3
+
+    def test_memset_memcpy(self):
+        result, _ = _run("""
+declare sbyte* %memset(sbyte* %d, int %c, long %n)
+declare sbyte* %memcpy(sbyte* %d, sbyte* %s, long %n)
+int %main() {
+entry:
+  %a = malloc sbyte, uint 8
+  %b = malloc sbyte, uint 8
+  %r1 = call sbyte* %memset(sbyte* %a, int 7, long 8)
+  %r2 = call sbyte* %memcpy(sbyte* %b, sbyte* %a, long 8)
+  %p = getelementptr sbyte* %b, long 5
+  %v = load sbyte* %p
+  %w = cast sbyte %v to int
+  ret int %w
+}
+""")
+        assert result == 7
+
+
+class TestVarargs:
+    def test_defined_vararg_function(self):
+        result, _ = _run("""
+internal int %sum3(int %count, ...) {
+entry:
+  %ap = alloca sbyte*
+  call void %llvm.va_start(sbyte** %ap)
+  %a = vaarg sbyte** %ap, int
+  %b = vaarg sbyte** %ap, int
+  %c = vaarg sbyte** %ap, int
+  %s1 = add int %a, %b
+  %s2 = add int %s1, %c
+  ret int %s2
+}
+declare void %llvm.va_start(sbyte** %ap)
+int %main() {
+entry:
+  %v = call int (int, ...)* %sum3(int 3, int 10, int 20, int 12)
+  ret int %v
+}
+""")
+        assert result == 42
+
+
+class TestMemoryUnit:
+    def test_allocation_bounds(self):
+        memory = Memory(DEFAULT)
+        address = memory.allocate(16)
+        memory.write_bytes(address, b"x" * 16)
+        with pytest.raises(MemoryFault):
+            memory.write_bytes(address + 10, b"y" * 8)
+
+    def test_typed_round_trip(self):
+        memory = Memory(DEFAULT)
+        address = memory.allocate(8)
+        for ty, value in ((types.INT, -123), (types.DOUBLE, 2.5),
+                          (types.BOOL, True), (types.ULONG, 2**63)):
+            memory.store(address, ty, value)
+            assert memory.load(address, ty) == value
+
+    def test_cstring(self):
+        memory = Memory(DEFAULT)
+        address = memory.allocate(8)
+        memory.write_bytes(address, b"hey\0more")
+        assert memory.read_cstring(address) == b"hey"

@@ -1,0 +1,212 @@
+"""Tests for stack promotion (mem2reg) — the SSA construction pass."""
+
+import pytest
+
+from repro.core import parse_function, print_function, types, verify_function
+from repro.core.instructions import AllocaInst, LoadInst, Opcode, PhiNode, StoreInst
+from repro.execution import Interpreter
+from repro.frontend import compile_source
+from repro.transforms.mem2reg import PromoteMem2Reg, is_promotable
+
+
+def _promote(source: str):
+    fn = parse_function(source)
+    changed = PromoteMem2Reg().run_on_function(fn)
+    verify_function(fn)
+    return fn, changed
+
+
+def _count(fn, kind):
+    return sum(1 for i in fn.instructions() if isinstance(i, kind))
+
+
+class TestPromotion:
+    def test_straightline(self):
+        fn, changed = _promote("""
+int %f(int %x) {
+entry:
+  %slot = alloca int
+  store int %x, int* %slot
+  %v = load int* %slot
+  ret int %v
+}
+""")
+        assert changed
+        assert _count(fn, AllocaInst) == 0
+        assert _count(fn, LoadInst) == 0
+        assert _count(fn, StoreInst) == 0
+
+    def test_diamond_gets_phi(self):
+        fn, changed = _promote("""
+int %f(bool %c) {
+entry:
+  %slot = alloca int
+  br bool %c, label %a, label %b
+a:
+  store int 1, int* %slot
+  br label %join
+b:
+  store int 2, int* %slot
+  br label %join
+join:
+  %v = load int* %slot
+  ret int %v
+}
+""")
+        assert changed
+        assert _count(fn, PhiNode) == 1
+        assert _count(fn, AllocaInst) == 0
+
+    def test_loop_counter(self):
+        fn, changed = _promote("""
+int %f(int %n) {
+entry:
+  %i = alloca int
+  store int 0, int* %i
+  br label %cond
+cond:
+  %iv = load int* %i
+  %c = setlt int %iv, %n
+  br bool %c, label %body, label %done
+body:
+  %next = add int %iv, 1
+  store int %next, int* %i
+  br label %cond
+done:
+  ret int %iv
+}
+""")
+        assert changed
+        assert _count(fn, AllocaInst) == 0
+        phis = [i for i in fn.instructions() if isinstance(i, PhiNode)]
+        assert len(phis) == 1
+
+    def test_load_before_store_is_undef(self):
+        fn, changed = _promote("""
+int %f() {
+entry:
+  %slot = alloca int
+  %v = load int* %slot
+  ret int %v
+}
+""")
+        assert changed
+        from repro.core.values import UndefValue
+
+        ret = fn.entry_block.terminator
+        assert isinstance(ret.return_value, UndefValue)
+
+    def test_dead_phis_pruned(self):
+        fn, changed = _promote("""
+void %f(bool %c) {
+entry:
+  %slot = alloca int
+  br bool %c, label %a, label %b
+a:
+  store int 1, int* %slot
+  br label %join
+b:
+  store int 2, int* %slot
+  br label %join
+join:
+  ret void
+}
+""")
+        assert changed
+        assert _count(fn, PhiNode) == 0
+
+
+class TestNonPromotable:
+    def test_escaped_address_kept(self):
+        fn = parse_function("""
+declare void %capture(int* %p)
+int %f() {
+entry:
+  %slot = alloca int
+  store int 1, int* %slot
+  call void %capture(int* %slot)
+  %v = load int* %slot
+  ret int %v
+}
+""")
+        PromoteMem2Reg().run_on_function(fn)
+        verify_function(fn)
+        assert _count(fn, AllocaInst) == 1
+
+    def test_stored_pointer_kept(self):
+        fn = parse_function("""
+void %f(int** %out) {
+entry:
+  %slot = alloca int
+  store int* %slot, int** %out
+  ret void
+}
+""")
+        assert not PromoteMem2Reg().run_on_function(fn)
+
+    def test_sized_alloca_kept(self):
+        fn = parse_function("""
+int %f(uint %n) {
+entry:
+  %buf = alloca int, uint %n
+  %v = load int* %buf
+  ret int %v
+}
+""")
+        assert not PromoteMem2Reg().run_on_function(fn)
+
+    def test_aggregate_alloca_kept(self):
+        fn = parse_function("""
+void %f() {
+entry:
+  %s = alloca { int, int }
+  ret void
+}
+""")
+        assert not PromoteMem2Reg().run_on_function(fn)
+
+    def test_is_promotable_predicate(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %good = alloca int
+  store int %x, int* %good
+  %v = load int* %good
+  ret int %v
+}
+""")
+        alloca = fn.entry_block.instructions[0]
+        assert is_promotable(alloca)
+
+
+class TestSemanticsPreserved:
+    PROGRAM = r"""
+int collatz_steps(int n) {
+  int steps = 0;
+  while (n != 1 && steps < 1000) {
+    if (n % 2 == 0) { n = n / 2; }
+    else { n = 3 * n + 1; }
+    steps = steps + 1;
+  }
+  return steps;
+}
+int main() {
+  int total = 0;
+  int i;
+  for (i = 1; i < 40; i++) { total += collatz_steps(i); }
+  return total % 251;
+}
+"""
+
+    def test_collatz_before_after(self):
+        module = compile_source(self.PROGRAM, "collatz")
+        expected = Interpreter(module).run("main")
+        pass_obj = PromoteMem2Reg()
+        for fn in module.defined_functions():
+            pass_obj.run_on_function(fn)
+            verify_function(fn)
+        assert Interpreter(module).run("main") == expected
+        assert all(
+            not isinstance(i, AllocaInst)
+            for f in module.defined_functions() for i in f.instructions()
+        )

@@ -1,0 +1,804 @@
+"""Tests for the scalar optimization passes: SimplifyCFG, DCE/ADCE,
+constant propagation, SCCP, GVN, InstCombine, Reassociate, LICM, SROA,
+tail recursion elimination, and reg2mem."""
+
+import pytest
+
+from repro.core import (
+    parse_function, print_function, types, verify_function,
+)
+from repro.core.instructions import (
+    AllocaInst, BinaryOperator, CallInst, LoadInst, Opcode, PhiNode,
+)
+from repro.core.values import ConstantInt
+from repro.execution import Interpreter
+from repro.frontend import compile_source
+from repro.transforms import (
+    AggressiveDCE, ConstantPropagation, DeadCodeElimination, GVN,
+    InstCombine, LICM, PromoteMem2Reg, Reassociate, SCCP,
+    ScalarReplAggregates, SimplifyCFG, TailRecursionElimination,
+)
+from repro.transforms.reg2mem import DemoteRegisters
+
+
+def _ops(fn, opcode):
+    return [i for i in fn.instructions() if i.opcode == opcode]
+
+
+class TestSimplifyCFG:
+    def test_removes_unreachable(self):
+        fn = parse_function("""
+int %f() {
+entry:
+  ret int 1
+dead:
+  ret int 2
+}
+""")
+        assert SimplifyCFG().run_on_function(fn)
+        assert len(fn.blocks) == 1
+
+    def test_folds_constant_branch(self):
+        fn = parse_function("""
+int %f() {
+entry:
+  br bool true, label %yes, label %no
+yes:
+  ret int 1
+no:
+  ret int 2
+}
+""")
+        SimplifyCFG().run_on_function(fn)
+        verify_function(fn)
+        assert Interpreter(fn.parent).run("f") == 1
+        assert len(fn.blocks) == 1  # merged and pruned
+
+    def test_merges_chain(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  br label %middle
+middle:
+  %y = add int %x, 1
+  br label %end
+end:
+  ret int %y
+}
+""")
+        SimplifyCFG().run_on_function(fn)
+        verify_function(fn)
+        assert len(fn.blocks) == 1
+
+    def test_single_incoming_phi_folded(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  br label %next
+next:
+  %p = phi int [ %x, %entry ]
+  ret int %p
+}
+""")
+        SimplifyCFG().run_on_function(fn)
+        verify_function(fn)
+        assert not list(fn.entry_block.phis())
+
+    def test_constant_switch_folded(self):
+        fn = parse_function("""
+int %f() {
+entry:
+  switch int 2, label %d [ int 1, label %one int 2, label %two ]
+one:
+  ret int 10
+two:
+  ret int 20
+d:
+  ret int 0
+}
+""")
+        SimplifyCFG().run_on_function(fn)
+        verify_function(fn)
+        assert Interpreter(fn.parent).run("f") == 20
+
+    def test_preserves_semantics_on_diamond(self):
+        source = """
+int %f(int %x) {
+entry:
+  %c = setlt int %x, 10
+  br bool %c, label %small, label %big
+small:
+  %a = add int %x, 100
+  br label %join
+big:
+  %b = mul int %x, 2
+  br label %join
+join:
+  %r = phi int [ %a, %small ], [ %b, %big ]
+  ret int %r
+}
+"""
+        fn = parse_function(source)
+        before_small = Interpreter(fn.parent).run("f", [3])
+        before_big = Interpreter(fn.parent).run("f", [30])
+        SimplifyCFG().run_on_function(fn)
+        verify_function(fn)
+        assert Interpreter(fn.parent).run("f", [3]) == before_small == 103
+        assert Interpreter(fn.parent).run("f", [30]) == before_big == 60
+
+
+class TestDCE:
+    def test_unused_arithmetic_removed(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %dead = mul int %x, 10
+  %dead2 = add int %dead, 1
+  ret int %x
+}
+""")
+        assert DeadCodeElimination().run_on_function(fn)
+        assert fn.instruction_count() == 1
+
+    def test_stores_kept(self):
+        fn = parse_function("""
+void %f(int* %p) {
+entry:
+  store int 1, int* %p
+  ret void
+}
+""")
+        assert not DeadCodeElimination().run_on_function(fn)
+
+    def test_unused_malloc_removed(self):
+        fn = parse_function("""
+void %f() {
+entry:
+  %leak = malloc int
+  ret void
+}
+""")
+        assert DeadCodeElimination().run_on_function(fn)
+
+    def test_adce_kills_dead_phi_cycle(self):
+        fn = parse_function("""
+int %f(int %n) {
+entry:
+  br label %loop
+loop:
+  %dead = phi int [ 0, %entry ], [ %dead.next, %loop ]
+  %live = phi int [ 0, %entry ], [ %live.next, %loop ]
+  %dead.next = add int %dead, 3
+  %live.next = add int %live, 1
+  %c = setlt int %live.next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %live.next
+}
+""")
+        assert AggressiveDCE().run_on_function(fn)
+        verify_function(fn)
+        names = [i.name for i in fn.instructions()]
+        assert "dead.next" not in names and "live.next" in names
+        assert Interpreter(fn.parent).run("f", [5]) == 5
+
+
+class TestConstantPropagation:
+    def test_chain_folds(self):
+        fn = parse_function("""
+int %f() {
+entry:
+  %a = add int 2, 3
+  %b = mul int %a, 4
+  %c = sub int %b, 1
+  ret int %c
+}
+""")
+        assert ConstantPropagation().run_on_function(fn)
+        DeadCodeElimination().run_on_function(fn)
+        assert fn.instruction_count() == 1
+        assert fn.entry_block.terminator.return_value.value == 19
+
+
+class TestSCCP:
+    def test_through_branches(self):
+        fn = parse_function("""
+int %f() {
+entry:
+  %c = setlt int 3, 10
+  br bool %c, label %yes, label %no
+yes:
+  ret int 1
+no:
+  ret int 2
+}
+""")
+        assert SCCP().run_on_function(fn)
+        SimplifyCFG().run_on_function(fn)
+        assert len(fn.blocks) == 1
+        assert Interpreter(fn.parent).run("f") == 1
+
+    def test_phi_of_equal_constants(self):
+        fn = parse_function("""
+int %f(bool %c) {
+entry:
+  br bool %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi int [ 7, %a ], [ 7, %b ]
+  %r = add int %p, 1
+  ret int %r
+}
+""")
+        SCCP().run_on_function(fn)
+        verify_function(fn)
+        ret = fn.blocks[-1].terminator
+        assert isinstance(ret.return_value, ConstantInt)
+        assert ret.return_value.value == 8
+
+    def test_unreachable_arm_ignored(self):
+        """SCCP's whole point: the false arm's poisoning value never
+        reaches the phi because the edge is dead."""
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  br bool true, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi int [ 5, %a ], [ %x, %b ]
+  ret int %p
+}
+""")
+        SCCP().run_on_function(fn)
+        ret = fn.blocks[-1].terminator
+        assert isinstance(ret.return_value, ConstantInt)
+        assert ret.return_value.value == 5
+
+    def test_no_fold_keeps_semantics(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %double = add int %x, %x
+  ret int %double
+}
+""")
+        SCCP().run_on_function(fn)
+        assert Interpreter(fn.parent).run("f", [21]) == 42
+
+
+class TestGVN:
+    def test_redundant_expression(self):
+        fn = parse_function("""
+int %f(int %a, int %b) {
+entry:
+  %x = add int %a, %b
+  %y = add int %a, %b
+  %z = add int %x, %y
+  ret int %z
+}
+""")
+        assert GVN().run_on_function(fn)
+        adds = _ops(fn, Opcode.ADD)
+        assert len(adds) == 2  # one a+b, one x+x
+
+    def test_commutative_match(self):
+        fn = parse_function("""
+int %f(int %a, int %b) {
+entry:
+  %x = add int %a, %b
+  %y = add int %b, %a
+  %z = sub int %x, %y
+  ret int %z
+}
+""")
+        GVN().run_on_function(fn)
+        assert Interpreter(fn.parent).run("f", [10, 5]) == 0
+        assert len(_ops(fn, Opcode.ADD)) == 1
+
+    def test_noncommutative_not_matched(self):
+        fn = parse_function("""
+int %f(int %a, int %b) {
+entry:
+  %x = sub int %a, %b
+  %y = sub int %b, %a
+  %z = add int %x, %y
+  ret int %z
+}
+""")
+        GVN().run_on_function(fn)
+        assert len(_ops(fn, Opcode.SUB)) == 2
+
+    def test_across_dominating_block(self):
+        fn = parse_function("""
+int %f(int %a, bool %c) {
+entry:
+  %x = mul int %a, 3
+  br bool %c, label %then, label %exit
+then:
+  %y = mul int %a, 3
+  ret int %y
+exit:
+  ret int %x
+}
+""")
+        GVN().run_on_function(fn)
+        assert len(_ops(fn, Opcode.MUL)) == 1
+
+    def test_store_load_forwarding(self):
+        fn = parse_function("""
+int %f(int* %p, int %v) {
+entry:
+  store int %v, int* %p
+  %r = load int* %p
+  ret int %r
+}
+""")
+        GVN().run_on_function(fn)
+        assert not _ops(fn, Opcode.LOAD)
+        assert fn.entry_block.terminator.return_value is fn.args[1]
+
+    def test_load_past_nonaliasing_store(self):
+        fn = parse_function("""
+int %f(int %v) {
+entry:
+  %a = alloca int
+  %b = alloca int
+  store int %v, int* %a
+  store int 9, int* %b
+  %r = load int* %a
+  ret int %r
+}
+""")
+        GVN().run_on_function(fn)
+        assert not _ops(fn, Opcode.LOAD)
+
+    def test_load_not_forwarded_past_call(self):
+        fn = parse_function("""
+declare void %mystery()
+int %f(int* %p, int %v) {
+entry:
+  store int %v, int* %p
+  call void %mystery()
+  %r = load int* %p
+  ret int %r
+}
+""")
+        GVN().run_on_function(fn)
+        assert len(_ops(fn, Opcode.LOAD)) == 1
+
+    def test_redundant_gep(self):
+        fn = parse_function("""
+int %f({ int, int }* %p) {
+entry:
+  %g1 = getelementptr { int, int }* %p, long 0, uint 1
+  %g2 = getelementptr { int, int }* %p, long 0, uint 1
+  %a = load int* %g1
+  %b = load int* %g2
+  %s = add int %a, %b
+  ret int %s
+}
+""")
+        GVN().run_on_function(fn)
+        assert len(_ops(fn, Opcode.GETELEMENTPTR)) == 1
+        # And the second load collapses onto the first.
+        assert len(_ops(fn, Opcode.LOAD)) == 1
+
+
+class TestInstCombine:
+    @pytest.mark.parametrize("expr,expected", [
+        ("add int %x, 0", "%x"),
+        ("sub int %x, 0", "%x"),
+        ("mul int %x, 1", "%x"),
+        ("div int %x, 1", "%x"),
+        ("and int %x, -1", "%x"),
+        ("or int %x, 0", "%x"),
+        ("xor int %x, 0", "%x"),
+    ])
+    def test_identities(self, expr, expected):
+        fn = parse_function(f"""
+int %f(int %x) {{
+entry:
+  %r = {expr}
+  ret int %r
+}}
+""")
+        InstCombine().run_on_function(fn)
+        ret = fn.entry_block.terminator
+        assert ret.return_value is fn.args[0]
+
+    def test_x_minus_x(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %r = sub int %x, %x
+  ret int %r
+}
+""")
+        InstCombine().run_on_function(fn)
+        assert fn.entry_block.terminator.return_value.value == 0
+
+    def test_xor_self(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %r = xor int %x, %x
+  ret int %r
+}
+""")
+        InstCombine().run_on_function(fn)
+        assert fn.entry_block.terminator.return_value.value == 0
+
+    def test_constant_moves_right(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %r = add int 5, %x
+  %r2 = add int %r, 2
+  ret int %r2
+}
+""")
+        InstCombine().run_on_function(fn)
+        verify_function(fn)
+        first = fn.entry_block.instructions[0]
+        assert isinstance(first.operands[1], ConstantInt)
+
+    def test_compare_self(self):
+        fn = parse_function("""
+bool %f(int %x) {
+entry:
+  %r = seteq int %x, %x
+  ret bool %r
+}
+""")
+        InstCombine().run_on_function(fn)
+        from repro.core.values import ConstantBool
+
+        assert isinstance(fn.entry_block.terminator.return_value, ConstantBool)
+
+    def test_fp_compare_self_kept(self):
+        """NaN != NaN: x == x is *not* always true for floats."""
+        fn = parse_function("""
+bool %f(double %x) {
+entry:
+  %r = seteq double %x, %x
+  ret bool %r
+}
+""")
+        InstCombine().run_on_function(fn)
+        assert fn.instruction_count() == 2  # compare survives
+
+    def test_gep_zero_folds(self):
+        fn = parse_function("""
+int %f(int* %p) {
+entry:
+  %g = getelementptr int* %p, long 0
+  %v = load int* %g
+  ret int %v
+}
+""")
+        InstCombine().run_on_function(fn)
+        assert not _ops(fn, Opcode.GETELEMENTPTR)
+
+    def test_shift_zero(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %r = shl int %x, ubyte 0
+  ret int %r
+}
+""")
+        InstCombine().run_on_function(fn)
+        assert fn.entry_block.terminator.return_value is fn.args[0]
+
+
+class TestReassociate:
+    def test_constants_gather(self):
+        fn = parse_function("""
+int %f(int %a, int %b) {
+entry:
+  %t1 = add int %a, 4
+  %t2 = add int %b, 3
+  %t3 = add int %t1, %t2
+  ret int %t3
+}
+""")
+        Reassociate().run_on_function(fn)
+        verify_function(fn)
+        assert Interpreter(fn.parent).run("f", [10, 20]) == 37
+        # The two constants fold into one add of 7.
+        constants = [
+            op.value for i in fn.instructions()
+            for op in i.operands if isinstance(op, ConstantInt)
+        ]
+        assert 7 in constants
+
+    def test_idempotent(self):
+        fn = parse_function("""
+int %f(int %a, int %b) {
+entry:
+  %t1 = add int %a, 4
+  %t2 = add int %b, 3
+  %t3 = add int %t1, %t2
+  ret int %t3
+}
+""")
+        Reassociate().run_on_function(fn)
+        assert not Reassociate().run_on_function(fn)
+
+    def test_fp_untouched(self):
+        fn = parse_function("""
+double %f(double %a, double %b) {
+entry:
+  %t1 = add double %a, 4.0
+  %t2 = add double %b, 3.0
+  %t3 = add double %t1, %t2
+  ret double %t3
+}
+""")
+        assert not Reassociate().run_on_function(fn)
+
+
+class TestLICM:
+    def test_invariant_hoisted(self):
+        fn = parse_function("""
+int %f(int %n, int %k) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %acc = phi int [ 0, %entry ], [ %acc2, %loop ]
+  %inv = mul int %k, 7
+  %acc2 = add int %acc, %inv
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %acc2
+}
+""")
+        expected = Interpreter(fn.parent).run("f", [5, 3])
+        assert LICM().run_on_function(fn)
+        verify_function(fn)
+        loop_block = next(b for b in fn.blocks if b.name == "loop")
+        assert not any(i.opcode == Opcode.MUL for i in loop_block.instructions)
+        assert Interpreter(fn.parent).run("f", [5, 3]) == expected == 105
+
+    def test_variant_not_hoisted(self):
+        fn = parse_function("""
+int %f(int %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %sq = mul int %i, %i
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %sq
+}
+""")
+        LICM().run_on_function(fn)
+        loop_block = next(b for b in fn.blocks if b.name == "loop")
+        assert any(i.opcode == Opcode.MUL for i in loop_block.instructions)
+
+    def test_division_not_speculated(self):
+        """Hoisting a division above its zero-guard would inject a trap."""
+        fn = parse_function("""
+int %f(int %n, int %d) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %skip ]
+  %safe = setne int %d, 0
+  br bool %safe, label %divide, label %skip
+divide:
+  %q = div int 100, %d
+  br label %skip
+skip:
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %next
+}
+""")
+        LICM().run_on_function(fn)
+        verify_function(fn)
+        # d == 0 must still run without a fault.
+        assert Interpreter(fn.parent).run("f", [3, 0]) == 3
+
+
+class TestSROA:
+    def test_struct_split_then_promoted(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %pair = alloca { int, int }
+  %a = getelementptr { int, int }* %pair, long 0, uint 0
+  %b = getelementptr { int, int }* %pair, long 0, uint 1
+  store int %x, int* %a
+  store int 10, int* %b
+  %va = load int* %a
+  %vb = load int* %b
+  %sum = add int %va, %vb
+  ret int %sum
+}
+""")
+        assert ScalarReplAggregates().run_on_function(fn)
+        verify_function(fn)
+        allocas = [i for i in fn.instructions() if isinstance(i, AllocaInst)]
+        assert all(a.allocated_type is types.INT for a in allocas)
+        PromoteMem2Reg().run_on_function(fn)
+        assert not [i for i in fn.instructions() if isinstance(i, AllocaInst)]
+        assert Interpreter(fn.parent).run("f", [5]) == 15
+
+    def test_small_array_split(self):
+        fn = parse_function("""
+int %f() {
+entry:
+  %arr = alloca [3 x int]
+  %p0 = getelementptr [3 x int]* %arr, long 0, long 0
+  store int 7, int* %p0
+  %v = load int* %p0
+  ret int %v
+}
+""")
+        assert ScalarReplAggregates().run_on_function(fn)
+        verify_function(fn)
+        assert Interpreter(fn.parent).run("f") == 7
+
+    def test_variable_index_blocks_split(self):
+        fn = parse_function("""
+int %f(long %i) {
+entry:
+  %arr = alloca [3 x int]
+  %p = getelementptr [3 x int]* %arr, long 0, long %i
+  %v = load int* %p
+  ret int %v
+}
+""")
+        assert not ScalarReplAggregates().run_on_function(fn)
+
+    def test_escaping_aggregate_kept(self):
+        fn = parse_function("""
+declare void %take({ int, int }* %p)
+void %f() {
+entry:
+  %pair = alloca { int, int }
+  call void %take({ int, int }* %pair)
+  ret void
+}
+""")
+        assert not ScalarReplAggregates().run_on_function(fn)
+
+    def test_nested_struct_iterates(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %nested = alloca { { int, int }, int }
+  %inner = getelementptr { { int, int }, int }* %nested, long 0, uint 0, uint 1
+  store int %x, int* %inner
+  %v = load int* %inner
+  ret int %v
+}
+""")
+        assert ScalarReplAggregates().run_on_function(fn)
+        verify_function(fn)
+        assert Interpreter(fn.parent).run("f", [9]) == 9
+
+
+class TestTailRecursion:
+    def test_accumulator_style(self):
+        fn = parse_function("""
+int %sum(int %n, int %acc) {
+entry:
+  %done = seteq int %n, 0
+  br bool %done, label %base, label %rec
+base:
+  ret int %acc
+rec:
+  %n1 = sub int %n, 1
+  %acc1 = add int %acc, %n
+  %r = call int %sum(int %n1, int %acc1)
+  ret int %r
+}
+""")
+        expected = Interpreter(fn.parent).run("sum", [10, 0])
+        assert TailRecursionElimination().run_on_function(fn)
+        verify_function(fn)
+        assert not [i for i in fn.instructions() if isinstance(i, CallInst)]
+        assert Interpreter(fn.parent).run("sum", [10, 0]) == expected == 55
+
+    def test_deep_recursion_flattened(self):
+        """After the transform the function iterates, so depths far past
+        any recursion budget work."""
+        fn = parse_function("""
+int %count(int %n, int %acc) {
+entry:
+  %done = seteq int %n, 0
+  br bool %done, label %base, label %rec
+base:
+  ret int %acc
+rec:
+  %n1 = sub int %n, 1
+  %acc1 = add int %acc, 1
+  %r = call int %count(int %n1, int %acc1)
+  ret int %r
+}
+""")
+        TailRecursionElimination().run_on_function(fn)
+        assert Interpreter(fn.parent).run("count", [100000, 0]) == 100000
+
+    def test_non_tail_call_untouched(self):
+        fn = parse_function("""
+int %fib(int %n) {
+entry:
+  %small = setlt int %n, 2
+  br bool %small, label %base, label %rec
+base:
+  ret int %n
+rec:
+  %n1 = sub int %n, 1
+  %a = call int %fib(int %n1)
+  %n2 = sub int %n, 2
+  %b = call int %fib(int %n2)
+  %s = add int %a, %b
+  ret int %s
+}
+""")
+        assert not TailRecursionElimination().run_on_function(fn)
+
+
+class TestReg2Mem:
+    def test_round_trip_with_mem2reg(self):
+        fn = parse_function("""
+int %f(int %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %i
+}
+""")
+        expected = Interpreter(fn.parent).run("f", [7])
+        assert DemoteRegisters().run_on_function(fn)
+        verify_function(fn)
+        assert not [i for i in fn.instructions() if isinstance(i, PhiNode)]
+        assert Interpreter(fn.parent).run("f", [7]) == expected
+        PromoteMem2Reg().run_on_function(fn)
+        verify_function(fn)
+        assert Interpreter(fn.parent).run("f", [7]) == expected
+
+    def test_no_cross_block_values_remain(self):
+        fn = parse_function("""
+int %f(bool %c, int %x) {
+entry:
+  %v = mul int %x, 3
+  br bool %c, label %a, label %b
+a:
+  %r1 = add int %v, 1
+  ret int %r1
+b:
+  %r2 = add int %v, 2
+  ret int %r2
+}
+""")
+        DemoteRegisters().run_on_function(fn)
+        verify_function(fn)
+        for block in fn.blocks:
+            for inst in block.instructions:
+                for use in inst.uses:
+                    user_parent = use.user.parent
+                    if not isinstance(inst, AllocaInst):
+                        assert user_parent is block

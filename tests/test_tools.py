@@ -1,0 +1,106 @@
+"""Tests for the command-line tools (the llvm-as/dis/opt/llc/lli suite)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.tools import lc_as, lc_cc, lc_dis, lc_link, lc_llc, lc_opt, lc_run
+
+HELLO = """
+extern int print_int(int x);
+int main() { print_int(40 + 2); return 0; }
+"""
+
+
+@pytest.fixture
+def hello_lc(tmp_path):
+    path = tmp_path / "hello.lc"
+    path.write_text(HELLO)
+    return str(path)
+
+
+class TestToolPipeline:
+    def test_cc_emits_text(self, hello_lc, tmp_path, capsys):
+        out = tmp_path / "hello.ll"
+        assert lc_cc([hello_lc, "-O", "2", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "%main" in text and "print_int" in text
+
+    def test_cc_emits_bytecode(self, hello_lc, tmp_path):
+        out = tmp_path / "hello.bc"
+        assert lc_cc([hello_lc, "-c", "-o", str(out)]) == 0
+        assert out.read_bytes()[:4] == b"llvm"
+
+    def test_as_dis_round_trip(self, hello_lc, tmp_path):
+        ll = tmp_path / "x.ll"
+        bc = tmp_path / "x.bc"
+        back = tmp_path / "back.ll"
+        lc_cc([hello_lc, "-o", str(ll)])
+        assert lc_as([str(ll), "-o", str(bc)]) == 0
+        assert lc_dis([str(bc), "-o", str(back)]) == 0
+        assert back.read_text() == ll.read_text()
+
+    def test_opt_named_passes(self, hello_lc, tmp_path):
+        ll = tmp_path / "x.ll"
+        out = tmp_path / "opt.ll"
+        lc_cc([hello_lc, "-o", str(ll)])
+        assert lc_opt([str(ll), "-p", "mem2reg,sccp,simplifycfg,adce",
+                       "-o", str(out)]) == 0
+        assert "alloca" not in out.read_text()
+
+    def test_opt_unknown_pass_rejected(self, hello_lc, tmp_path):
+        ll = tmp_path / "x.ll"
+        lc_cc([hello_lc, "-o", str(ll)])
+        with pytest.raises(SystemExit):
+            lc_opt([str(ll), "-p", "no_such_pass"])
+
+    def test_run_executes(self, hello_lc, tmp_path, capsys):
+        ll = tmp_path / "x.ll"
+        lc_cc([hello_lc, "-O", "2", "-o", str(ll)])
+        code = lc_run([str(ll)])
+        assert code == 0
+        assert capsys.readouterr().out == "42\n"
+
+    def test_llc_size_report(self, hello_lc, tmp_path, capsys):
+        ll = tmp_path / "x.ll"
+        lc_cc([hello_lc, "-o", str(ll)])
+        assert lc_llc([str(ll), "--target", "sparc", "--emit", "size"]) == 0
+        report = capsys.readouterr().out
+        assert "target: sparc" in report and "total:" in report
+
+    def test_llc_assembly(self, hello_lc, tmp_path, capsys):
+        ll = tmp_path / "x.ll"
+        lc_cc([hello_lc, "-o", str(ll)])
+        assert lc_llc([str(ll)]) == 0
+        assert "main:" in capsys.readouterr().out
+
+    def test_link_two_modules(self, tmp_path, capsys):
+        lib = tmp_path / "lib.lc"
+        lib.write_text("int helper(int x) { return x * 2; }")
+        app = tmp_path / "app.lc"
+        app.write_text("""
+extern int helper(int x);
+int main() { return helper(21); }
+""")
+        lib_ll = tmp_path / "lib.ll"
+        app_ll = tmp_path / "app.ll"
+        linked = tmp_path / "linked.ll"
+        lc_cc([str(lib), "-o", str(lib_ll)])
+        lc_cc([str(app), "-o", str(app_ll)])
+        assert lc_link([str(lib_ll), str(app_ll), "--lto",
+                        "-o", str(linked)]) == 0
+        assert lc_run([str(linked)]) == 42
+
+    def test_module_entry_point(self, hello_lc):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "cc", hello_lc, "-O", "2"],
+            capture_output=True, text=True, cwd="/root/repo",
+        )
+        assert result.returncode == 0
+        assert "%main" in result.stdout
+
+    def test_usage_message(self, capsys):
+        from repro.tools import main
+
+        assert main([]) == 2

@@ -1,0 +1,194 @@
+"""Unit tests for the type system and data layout."""
+
+import pytest
+
+from repro.core import types
+from repro.core.datalayout import DataLayout
+
+
+class TestPrimitives:
+    def test_keyword_table_is_complete(self):
+        assert set(types.PRIMITIVES) == {
+            "void", "bool", "sbyte", "ubyte", "short", "ushort", "int",
+            "uint", "long", "ulong", "float", "double", "label",
+        }
+
+    def test_integer_names(self):
+        assert str(types.SBYTE) == "sbyte"
+        assert str(types.UINT) == "uint"
+        assert str(types.LONG) == "long"
+
+    def test_integer_ranges(self):
+        assert types.SBYTE.min_value == -128
+        assert types.SBYTE.max_value == 127
+        assert types.UBYTE.min_value == 0
+        assert types.UBYTE.max_value == 255
+        assert types.LONG.max_value == 2**63 - 1
+
+    def test_wrap_signed(self):
+        assert types.SBYTE.wrap(128) == -128
+        assert types.SBYTE.wrap(-129) == 127
+        assert types.INT.wrap(2**31) == -(2**31)
+
+    def test_wrap_unsigned(self):
+        assert types.UBYTE.wrap(256) == 0
+        assert types.UBYTE.wrap(-1) == 255
+
+    def test_classification_flags(self):
+        assert types.VOID.is_void and not types.VOID.is_first_class
+        assert types.BOOL.is_integral and not types.BOOL.is_arithmetic
+        assert types.INT.is_arithmetic and types.INT.is_integral
+        assert types.DOUBLE.is_arithmetic and not types.DOUBLE.is_integral
+        assert types.LABEL.is_label
+
+    def test_integer_lookup(self):
+        assert types.integer(32, True) is types.INT
+        assert types.integer(8, False) is types.UBYTE
+        with pytest.raises(ValueError):
+            types.integer(24, True)
+
+
+class TestDerivedTypes:
+    def test_pointer_uniquing(self):
+        assert types.pointer(types.INT) is types.pointer(types.INT)
+        assert types.pointer(types.INT) is not types.pointer(types.UINT)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            types.PointerType(types.VOID)
+
+    def test_array_uniquing(self):
+        assert types.array(types.INT, 4) is types.array(types.INT, 4)
+        assert types.array(types.INT, 4) is not types.array(types.INT, 5)
+
+    def test_array_str(self):
+        assert str(types.array(types.SBYTE, 10)) == "[10 x sbyte]"
+
+    def test_negative_array_count_rejected(self):
+        with pytest.raises(ValueError):
+            types.array(types.INT, -1)
+
+    def test_struct_uniquing(self):
+        a = types.struct([types.INT, types.DOUBLE])
+        b = types.struct([types.INT, types.DOUBLE])
+        assert a is b
+        assert a is not types.struct([types.DOUBLE, types.INT])
+
+    def test_struct_str(self):
+        assert str(types.struct([types.INT, types.INT])) == "{ int, int }"
+
+    def test_named_struct_not_uniqued(self):
+        a = types.named_struct("node", [types.INT])
+        b = types.named_struct("node", [types.INT])
+        assert a is not b
+
+    def test_named_struct_recursion(self):
+        node = types.named_struct("list")
+        assert node.is_opaque
+        node.set_body([types.INT, types.pointer(node)])
+        assert not node.is_opaque
+        assert node.fields[1].pointee is node
+
+    def test_named_struct_body_set_once(self):
+        node = types.named_struct("once", [types.INT])
+        with pytest.raises(ValueError):
+            node.set_body([types.INT])
+
+    def test_opaque_struct_field_access_raises(self):
+        opaque = types.named_struct("op")
+        with pytest.raises(ValueError):
+            _ = opaque.fields
+
+    def test_function_type(self):
+        fn = types.function(types.INT, [types.INT, types.DOUBLE])
+        assert fn.return_type is types.INT
+        assert fn.params == (types.INT, types.DOUBLE)
+        assert not fn.is_vararg
+        assert str(fn) == "int (int, double)"
+
+    def test_vararg_function_str(self):
+        fn = types.function(types.INT, [types.pointer(types.SBYTE)], True)
+        assert str(fn) == "int (sbyte*, ...)"
+
+    def test_function_uniquing(self):
+        a = types.function(types.VOID, [types.INT])
+        b = types.function(types.VOID, [types.INT])
+        assert a is b
+        assert a is not types.function(types.VOID, [types.INT], True)
+
+    def test_element_at(self):
+        struct = types.struct([types.INT, types.DOUBLE])
+        assert types.element_at(struct, 1) is types.DOUBLE
+        array = types.array(types.SBYTE, 3)
+        assert types.element_at(array, 2) is types.SBYTE
+        with pytest.raises(IndexError):
+            types.element_at(struct, 5)
+        with pytest.raises(TypeError):
+            types.element_at(types.INT, 0)
+
+    def test_lossless_convertibility(self):
+        assert types.is_losslessly_convertible(types.INT, types.UINT)
+        assert not types.is_losslessly_convertible(types.INT, types.LONG)
+        assert types.is_losslessly_convertible(
+            types.pointer(types.INT), types.pointer(types.SBYTE)
+        )
+
+
+class TestDataLayout:
+    def setup_method(self):
+        self.layout = DataLayout()
+
+    def test_primitive_sizes(self):
+        assert self.layout.size_of(types.BOOL) == 1
+        assert self.layout.size_of(types.SBYTE) == 1
+        assert self.layout.size_of(types.SHORT) == 2
+        assert self.layout.size_of(types.INT) == 4
+        assert self.layout.size_of(types.LONG) == 8
+        assert self.layout.size_of(types.FLOAT) == 4
+        assert self.layout.size_of(types.DOUBLE) == 8
+
+    def test_pointer_size(self):
+        assert self.layout.size_of(types.pointer(types.INT)) == 8
+        assert DataLayout(pointer_size=4).size_of(types.pointer(types.INT)) == 4
+
+    def test_array_size(self):
+        assert self.layout.size_of(types.array(types.INT, 10)) == 40
+
+    def test_struct_padding(self):
+        # { sbyte, int } pads the byte to 4-aligned int.
+        struct = types.struct([types.SBYTE, types.INT])
+        assert self.layout.field_offset(struct, 0) == 0
+        assert self.layout.field_offset(struct, 1) == 4
+        assert self.layout.size_of(struct) == 8
+
+    def test_struct_tail_padding(self):
+        # { long, sbyte } pads to 16 so arrays stay aligned.
+        struct = types.struct([types.LONG, types.SBYTE])
+        assert self.layout.size_of(struct) == 16
+
+    def test_nested_struct_offsets(self):
+        inner = types.struct([types.INT, types.INT])
+        outer = types.struct([types.SBYTE, inner, types.SBYTE])
+        assert self.layout.field_offset(outer, 1) == 4
+        assert self.layout.field_offset(outer, 2) == 12
+
+    def test_alignment(self):
+        assert self.layout.align_of(types.DOUBLE) == 8
+        assert self.layout.align_of(types.array(types.SHORT, 7)) == 2
+        struct = types.struct([types.SBYTE, types.DOUBLE])
+        assert self.layout.align_of(struct) == 8
+
+    def test_element_offset_array(self):
+        array = types.array(types.INT, 8)
+        assert self.layout.element_offset(array, 3) == 12
+
+    def test_intptr_type(self):
+        assert self.layout.intptr_type is types.ULONG
+        assert DataLayout(pointer_size=4).intptr_type is types.UINT
+
+    def test_bad_pointer_size(self):
+        with pytest.raises(ValueError):
+            DataLayout(pointer_size=3)
+
+    def test_empty_struct(self):
+        assert self.layout.size_of(types.struct([])) == 0

@@ -1,0 +1,149 @@
+"""Unit tests for values, use lists, and constants."""
+
+import pytest
+
+from repro.core import types
+from repro.core.instructions import BinaryOperator, Opcode
+from repro.core.values import (
+    ConstantAggregateZero, ConstantArray, ConstantBool, ConstantExpr,
+    ConstantFP, ConstantInt, ConstantPointerNull, ConstantString,
+    ConstantStruct, UndefValue, Value, null_value,
+)
+
+
+def _add(a, b):
+    return BinaryOperator(Opcode.ADD, a, b)
+
+
+class TestUseLists:
+    def test_operand_registration(self):
+        a = ConstantInt(types.INT, 1)
+        b = ConstantInt(types.INT, 2)
+        inst = _add(a, b)
+        assert [use.user for use in a.uses] == [inst]
+        assert inst.operands == [a, b]
+
+    def test_same_value_twice(self):
+        a = ConstantInt(types.INT, 3)
+        inst = _add(a, a)
+        assert len(a.uses) == 2
+        assert {use.index for use in a.uses} == {0, 1}
+
+    def test_set_operand_updates_uses(self):
+        a = ConstantInt(types.INT, 1)
+        b = ConstantInt(types.INT, 2)
+        c = ConstantInt(types.INT, 3)
+        inst = _add(a, b)
+        inst.set_operand(0, c)
+        assert not a.uses
+        assert [use.user for use in c.uses] == [inst]
+        assert inst.operands[0] is c
+
+    def test_replace_all_uses_with(self):
+        a = ConstantInt(types.INT, 1)
+        b = ConstantInt(types.INT, 2)
+        replacement = ConstantInt(types.INT, 9)
+        first = _add(a, b)
+        second = _add(a, a)
+        a.replace_all_uses_with(replacement)
+        assert not a.uses
+        assert first.operands[0] is replacement
+        assert second.operands == [replacement, replacement]
+
+    def test_replace_with_self_rejected(self):
+        a = ConstantInt(types.INT, 1)
+        with pytest.raises(ValueError):
+            a.replace_all_uses_with(a)
+
+    def test_drop_all_references(self):
+        a = ConstantInt(types.INT, 1)
+        b = ConstantInt(types.INT, 2)
+        inst = _add(a, b)
+        inst.drop_all_references()
+        assert not a.uses and not b.uses
+        assert inst.operands == []
+
+    def test_users_iteration(self):
+        a = ConstantInt(types.INT, 1)
+        inst = _add(a, a)
+        assert list(a.users()) == [inst, inst]
+        assert a.is_used
+
+
+class TestConstants:
+    def test_constant_int_wraps(self):
+        assert ConstantInt(types.SBYTE, 200).value == -56
+        assert ConstantInt(types.UBYTE, -1).value == 255
+
+    def test_constant_int_requires_integer_type(self):
+        with pytest.raises(TypeError):
+            ConstantInt(types.DOUBLE, 1)
+
+    def test_constant_bool(self):
+        assert ConstantBool(True).value is True
+        assert ConstantBool(False).is_null_value()
+
+    def test_constant_fp_rounds_float32(self):
+        # 0.1 is not representable in binary32; the constant must carry
+        # the rounded value so folding matches execution.
+        single = ConstantFP(types.FLOAT, 0.1)
+        double = ConstantFP(types.DOUBLE, 0.1)
+        assert single.value != double.value
+
+    def test_null_pointer(self):
+        ptr = ConstantPointerNull(types.pointer(types.INT))
+        assert ptr.is_null_value()
+        with pytest.raises(TypeError):
+            ConstantPointerNull(types.INT)
+
+    def test_undef(self):
+        undef = UndefValue(types.INT)
+        assert undef.type is types.INT
+        assert not undef.is_null_value()
+
+    def test_aggregate_zero(self):
+        zero = ConstantAggregateZero(types.array(types.INT, 4))
+        assert zero.is_null_value()
+        with pytest.raises(TypeError):
+            ConstantAggregateZero(types.INT)
+
+    def test_constant_array_checks_shape(self):
+        ty = types.array(types.INT, 2)
+        good = ConstantArray(ty, [ConstantInt(types.INT, 1),
+                                  ConstantInt(types.INT, 2)])
+        assert len(good.elements) == 2
+        with pytest.raises(ValueError):
+            ConstantArray(ty, [ConstantInt(types.INT, 1)])
+        with pytest.raises(TypeError):
+            ConstantArray(ty, [ConstantInt(types.LONG, 1),
+                               ConstantInt(types.LONG, 2)])
+
+    def test_constant_struct_checks_fields(self):
+        ty = types.struct([types.INT, types.BOOL])
+        good = ConstantStruct(ty, [ConstantInt(types.INT, 5),
+                                   ConstantBool(True)])
+        assert good.fields_values[1].value is True
+        with pytest.raises(TypeError):
+            ConstantStruct(ty, [ConstantBool(True),
+                                ConstantInt(types.INT, 5)])
+
+    def test_constant_string(self):
+        s = ConstantString(b"hi\0")
+        assert s.type is types.array(types.SBYTE, 3)
+        assert not s.is_null_value()
+        assert ConstantString(b"\0\0").is_null_value()
+
+    def test_constant_expr_opcode_check(self):
+        inner = ConstantInt(types.INT, 1)
+        with pytest.raises(ValueError):
+            ConstantExpr("add", types.INT, (inner,))
+
+    def test_null_value_factory(self):
+        assert null_value(types.INT).value == 0
+        assert null_value(types.BOOL).value is False
+        assert null_value(types.DOUBLE).value == 0.0
+        assert null_value(types.pointer(types.INT)).is_null_value()
+        assert isinstance(null_value(types.struct([types.INT])),
+                          ConstantAggregateZero)
+        with pytest.raises(TypeError):
+            null_value(types.VOID)

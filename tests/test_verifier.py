@@ -1,0 +1,243 @@
+"""Tests for the IR verifier: every invariant has a test that breaks it."""
+
+import pytest
+
+from repro.core import (
+    ConstantBool, ConstantInt, IRBuilder, Module, VerificationError,
+    parse_function, types, verify_function, verify_module,
+)
+from repro.core.basicblock import BasicBlock
+from repro.core.instructions import (
+    BinaryOperator, BranchInst, Opcode, PhiNode, ReturnInst,
+)
+
+
+def _function(ret=types.INT, params=(types.INT,)):
+    module = Module("v")
+    return module.new_function(types.function(ret, list(params)), "f")
+
+
+class TestStructure:
+    def test_valid_function_passes(self):
+        fn = parse_function("int %f(int %x) {\nentry:\n  ret int %x\n}")
+        verify_function(fn)
+
+    def test_empty_block_rejected(self):
+        fn = _function()
+        fn.append_block("entry")
+        with pytest.raises(VerificationError, match="empty"):
+            verify_function(fn)
+
+    def test_missing_terminator_rejected(self):
+        fn = _function()
+        block = fn.append_block("entry")
+        block.instructions.append(
+            BinaryOperator(Opcode.ADD, fn.args[0], fn.args[0])
+        )
+        block.instructions[-1].parent = block
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(fn)
+
+    def test_terminator_in_middle_rejected(self):
+        fn = _function()
+        block = fn.append_block("entry")
+        for inst in (ReturnInst(fn.args[0]), ReturnInst(fn.args[0])):
+            block.instructions.append(inst)
+            inst.parent = block
+        with pytest.raises(VerificationError, match="middle"):
+            verify_function(fn)
+
+    def test_branch_outside_function_rejected(self):
+        fn = _function()
+        other = _function()
+        foreign = other.append_block("foreign")
+        IRBuilder(foreign).ret(other.args[0])
+        block = fn.append_block("entry")
+        IRBuilder(block).br(foreign)
+        with pytest.raises(VerificationError, match="outside"):
+            verify_function(fn)
+
+    def test_entry_with_predecessors_rejected(self):
+        fn = _function()
+        entry = fn.append_block("entry")
+        IRBuilder(entry).br(entry)
+        with pytest.raises(VerificationError, match="entry"):
+            verify_function(fn)
+
+    def test_declaration_not_verifiable(self):
+        fn = _function()
+        with pytest.raises(VerificationError, match="declaration"):
+            verify_function(fn)
+
+
+class TestTypesRules:
+    def test_ret_type_mismatch(self):
+        fn = _function(ret=types.LONG)
+        IRBuilder(fn.append_block("entry")).ret(fn.args[0])
+        with pytest.raises(VerificationError, match="ret"):
+            verify_function(fn)
+
+    def test_ret_value_in_void_function(self):
+        fn = _function(ret=types.VOID)
+        block = fn.append_block("entry")
+        ret = ReturnInst(fn.args[0])
+        block.instructions.append(ret)
+        ret.parent = block
+        with pytest.raises(VerificationError, match="void"):
+            verify_function(fn)
+
+    def test_missing_ret_value(self):
+        fn = _function()
+        block = fn.append_block("entry")
+        ret = ReturnInst(None)
+        block.instructions.append(ret)
+        ret.parent = block
+        with pytest.raises(VerificationError, match="non-void"):
+            verify_function(fn)
+
+    def test_hand_mutated_store_caught(self):
+        fn = parse_function("""
+void %f(int %x) {
+entry:
+  %slot = alloca int
+  store int %x, int* %slot
+  ret void
+}
+""")
+        store = fn.entry_block.instructions[1]
+        long_val = ConstantInt(types.LONG, 1)
+        # Bypass the constructor check by poking the operand directly.
+        store.set_operand(0, long_val)
+        with pytest.raises(VerificationError, match="store"):
+            verify_function(fn)
+
+
+class TestPhiRules:
+    def _diamond(self):
+        fn = _function(params=(types.BOOL,))
+        entry = fn.append_block("entry")
+        left = fn.append_block("left")
+        right = fn.append_block("right")
+        join = fn.append_block("join")
+        IRBuilder(entry).cond_br(fn.args[0], left, right)
+        IRBuilder(left).br(join)
+        IRBuilder(right).br(join)
+        return fn, entry, left, right, join
+
+    def test_valid_phi(self):
+        fn, entry, left, right, join = self._diamond()
+        builder = IRBuilder(join)
+        phi = builder.phi(types.INT, "p")
+        phi.add_incoming(ConstantInt(types.INT, 1), left)
+        phi.add_incoming(ConstantInt(types.INT, 2), right)
+        builder.ret(phi)
+        verify_function(fn)
+
+    def test_phi_missing_predecessor(self):
+        fn, entry, left, right, join = self._diamond()
+        builder = IRBuilder(join)
+        phi = builder.phi(types.INT, "p")
+        phi.add_incoming(ConstantInt(types.INT, 1), left)
+        builder.ret(phi)
+        with pytest.raises(VerificationError, match="predecessors"):
+            verify_function(fn)
+
+    def test_phi_extra_block(self):
+        fn, entry, left, right, join = self._diamond()
+        builder = IRBuilder(join)
+        phi = builder.phi(types.INT, "p")
+        phi.add_incoming(ConstantInt(types.INT, 1), left)
+        phi.add_incoming(ConstantInt(types.INT, 2), right)
+        phi.add_incoming(ConstantInt(types.INT, 3), entry)
+        builder.ret(phi)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_phi_after_non_phi(self):
+        fn, entry, left, right, join = self._diamond()
+        builder = IRBuilder(join)
+        value = builder.add(ConstantInt(types.INT, 1),
+                            ConstantInt(types.INT, 2), "v")
+        phi = PhiNode(types.INT, "late")
+        phi.add_incoming(ConstantInt(types.INT, 1), left)
+        phi.add_incoming(ConstantInt(types.INT, 2), right)
+        join.instructions.append(phi)
+        phi.parent = join
+        builder.position_at_end(join)
+        builder.ret(value)
+        with pytest.raises(VerificationError, match="phi after non-phi"):
+            verify_function(fn)
+
+
+class TestDominance:
+    def test_use_before_def_in_other_branch(self):
+        fn = _function(params=(types.BOOL,))
+        entry = fn.append_block("entry")
+        left = fn.append_block("left")
+        right = fn.append_block("right")
+        builder = IRBuilder(entry)
+        builder.cond_br(fn.args[0], left, right)
+        builder.position_at_end(left)
+        value = builder.add(ConstantInt(types.INT, 1),
+                            ConstantInt(types.INT, 1), "v")
+        builder.ret(value)
+        builder.position_at_end(right)
+        # Illegal: 'v' is defined only on the left path.
+        ret = ReturnInst(value)
+        right.instructions.append(ret)
+        ret.parent = right
+        with pytest.raises(VerificationError, match="dominated"):
+            verify_function(fn)
+
+    def test_use_before_def_same_block(self):
+        fn = _function()
+        entry = fn.append_block("entry")
+        first = BinaryOperator(Opcode.ADD, fn.args[0], fn.args[0], "a")
+        second = BinaryOperator(Opcode.ADD, fn.args[0], fn.args[0], "b")
+        # b uses a but is placed before it.
+        second.set_operand(1, first)
+        entry.instructions.append(second)
+        second.parent = entry
+        entry.instructions.append(first)
+        first.parent = entry
+        ret = ReturnInst(second)
+        entry.instructions.append(ret)
+        ret.parent = entry
+        with pytest.raises(VerificationError, match="dominated"):
+            verify_function(fn)
+
+    def test_argument_of_other_function_rejected(self):
+        fn = _function()
+        other = _function()
+        IRBuilder(fn.append_block("entry")).ret(other.args[0])
+        with pytest.raises(VerificationError, match="argument"):
+            verify_function(fn)
+
+    def test_unreachable_block_uses_unconstrained(self):
+        """Dominance is not enforced in unreachable code (the paper's
+        compilers leave such code to the CFG cleaner)."""
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  ret int %x
+dead:
+  %v = add int %y, 1
+  %y = add int %v, 1
+  ret int %y
+}
+""")
+        verify_function(fn)
+
+
+class TestModuleVerifier:
+    def test_module_with_bad_function(self):
+        module = Module("m")
+        fn = module.new_function(types.function(types.INT, []), "f")
+        fn.append_block("entry")
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_declarations_are_skipped(self):
+        module = Module("m")
+        module.new_function(types.function(types.INT, []), "external_thing")
+        verify_module(module)
