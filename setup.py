@@ -25,6 +25,7 @@ setup(
             "lc-link=repro.tools:lc_link",
             "lc-run=repro.tools:lc_run",
             "lc-llc=repro.tools:lc_llc",
+            "lc-lint=repro.tools:lc_lint",
         ]
     },
 )

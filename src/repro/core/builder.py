@@ -29,6 +29,9 @@ class IRBuilder:
     def __init__(self, block: Optional[BasicBlock] = None):
         self.block = block
         self._insert_index: Optional[int] = None
+        #: Source line stamped onto every inserted instruction (front-ends
+        #: set this as they walk the AST; None leaves instructions unlocated).
+        self.current_line: Optional[int] = None
 
     # -- positioning -------------------------------------------------------
 
@@ -54,6 +57,8 @@ class IRBuilder:
         else:
             self.block.insert(self._insert_index, inst)
             self._insert_index += 1
+        if self.current_line is not None:
+            inst.loc = self.current_line
         return inst
 
     # -- terminators ----------------------------------------------------------
@@ -193,6 +198,8 @@ class IRBuilder:
         self.block.insert(self.block.first_non_phi_index(), node)
         if self._insert_index is not None:
             self._insert_index += 1
+        if self.current_line is not None:
+            node.loc = self.current_line
         return node
 
     def cast(self, value: Value, dest_type: types.Type, name: str = "") -> Value:

@@ -91,13 +91,18 @@ assert len(Opcode) == 31, "the paper's instruction set has exactly 31 opcodes"
 class Instruction(User):
     """Base class for all instructions."""
 
-    __slots__ = ("opcode", "parent")
+    __slots__ = ("opcode", "parent", "loc")
 
     def __init__(self, opcode: Opcode, ty: Type, operands: Sequence[Value], name: str = ""):
         super().__init__(ty, operands, name)
         self.opcode = opcode
         #: The basic block containing this instruction, set on insertion.
         self.parent = None  # type: ignore[assignment]
+        #: Source line this instruction was generated from (None when the
+        #: instruction did not come from a front-end, e.g. parsed IR).
+        #: Threaded from the LC front-end so diagnostics can point at
+        #: source even after optimization moves code around.
+        self.loc: Optional[int] = None
 
     # -- classification -----------------------------------------------------
 

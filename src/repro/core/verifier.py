@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from .basicblock import BasicBlock
 from .instructions import (
-    BranchInst, Instruction, InvokeInst, Opcode, PhiNode, ReturnInst,
-    SwitchInst,
+    BranchInst, CallInst, GetElementPtrInst, Instruction, InvokeInst,
+    Opcode, PhiNode, ReturnInst, SwitchInst, gep_result_type,
 )
 from .module import Function, Module
 from .values import Argument, Constant, Value
@@ -153,6 +153,10 @@ def _verify_instruction_types(function: Function, inst: Instruction) -> None:
         ptr = inst.operands[0]
         if not ptr.type.is_pointer or ptr.type.pointee is not inst.type:
             raise VerificationError(f"load of {inst.type} through {ptr.type}")
+    elif isinstance(inst, GetElementPtrInst):
+        _verify_gep_types(inst)
+    elif isinstance(inst, (CallInst, InvokeInst)):
+        _verify_call_types(inst)
     elif inst.is_binary_op:
         lhs, rhs = inst.operands
         if lhs.type is not rhs.type:
@@ -165,6 +169,54 @@ def _verify_instruction_types(function: Function, inst: Instruction) -> None:
                 raise VerificationError(
                     f"phi incoming type {value.type} != {inst.type}"
                 )
+
+
+def _verify_gep_types(inst: GetElementPtrInst) -> None:
+    """Re-derive a GEP's result type from its (possibly hand-mutated)
+    operands.  Construction already enforces these rules, but passes
+    that rewrite operands in place (``set_operand``) bypass them."""
+    ptr = inst.pointer
+    if not ptr.type.is_pointer:
+        raise VerificationError(
+            f"getelementptr base is not a pointer: {ptr.type}"
+        )
+    for index in inst.indices:
+        if not (index.type.is_integer or index.type.is_bool):
+            raise VerificationError(
+                f"getelementptr index is not an integer: {index.type}"
+            )
+    try:
+        expected = gep_result_type(ptr.type, inst.indices)
+    except (TypeError, ValueError) as exc:
+        raise VerificationError(f"malformed getelementptr: {exc}") from exc
+    if expected is not inst.type:
+        raise VerificationError(
+            f"getelementptr result type {inst.type} should be {expected}"
+        )
+
+
+def _verify_call_types(inst: Instruction) -> None:
+    callee_ty = inst.callee.type
+    if not (callee_ty.is_pointer and callee_ty.pointee.is_function):
+        raise VerificationError(
+            f"callee is not a function pointer: {callee_ty}"
+        )
+    fn_ty = callee_ty.pointee
+    args = inst.args
+    required = len(fn_ty.params)
+    if len(args) != required and not (fn_ty.is_vararg and len(args) > required):
+        raise VerificationError(
+            f"call passes {len(args)} args to a {required}-arg function"
+        )
+    for arg, param_ty in zip(args, fn_ty.params):
+        if arg.type is not param_ty:
+            raise VerificationError(
+                f"call argument type {arg.type} != parameter {param_ty}"
+            )
+    if inst.type is not fn_ty.return_type:
+        raise VerificationError(
+            f"call result type {inst.type} != return type {fn_ty.return_type}"
+        )
 
 
 def _verify_dominance(function: Function) -> None:

@@ -2,12 +2,12 @@
 compile/link/execute flows of paper Figure 4."""
 
 from .pipelines import (
-    compile_and_link, link_time_optimize, optimize_module,
+    analyze_module, compile_and_link, link_time_optimize, optimize_module,
     standard_pipeline,
 )
 from .lifelong import LifelongSession
 
 __all__ = [
-    "compile_and_link", "link_time_optimize", "optimize_module",
-    "standard_pipeline", "LifelongSession",
+    "analyze_module", "compile_and_link", "link_time_optimize",
+    "optimize_module", "standard_pipeline", "LifelongSession",
 ]

@@ -89,14 +89,32 @@ def link_time_optimize(module: Module, level: int = 2,
     return module
 
 
+def analyze_module(module: Module, checks: Optional[Sequence[str]] = None):
+    """The opt-in whole-program "analyze" stage.
+
+    Runs the lc-lint checker suite (:mod:`repro.sanalysis`) over the
+    module and attaches the result to ``module.diagnostics`` so drivers
+    and tests can inspect it without re-running the checkers.  Purely
+    observational: the IR is never modified.
+    """
+    from ..sanalysis import run_checkers
+
+    diagnostics = run_checkers(module, checks)
+    module.diagnostics = diagnostics
+    return diagnostics
+
+
 def compile_and_link(sources: Iterable[str], name: str = "program",
                      level: int = 2, lto: bool = True,
-                     verify_each: bool = False) -> Module:
+                     verify_each: bool = False, analyze: bool = False) -> Module:
     """Front-end + per-module optimization + link (+ link-time IPO).
 
     ``sources`` are LC translation units.  This is the paper's Figure 4
     static path: front-ends emit IR, the linker combines it, and the
-    interprocedural optimizer runs over the whole program.
+    interprocedural optimizer runs over the whole program.  With
+    ``analyze=True`` the post-link module is additionally run through
+    the static checker suite (see :func:`analyze_module`); findings
+    land on ``module.diagnostics``.
     """
     modules = []
     for index, source in enumerate(sources):
@@ -106,4 +124,6 @@ def compile_and_link(sources: Iterable[str], name: str = "program",
     linked = link_modules(modules, name)
     if lto:
         link_time_optimize(linked, level, verify_each=verify_each)
+    if analyze:
+        analyze_module(linked)
     return linked

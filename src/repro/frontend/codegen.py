@@ -268,6 +268,7 @@ class CodeGenerator:
         self.function = function
         entry = function.append_block("entry")
         self.builder.position_at_end(entry)
+        self.builder.current_line = decl.line
         self.scope = _Scope()
         # Classic C front-end move: copy every parameter into a stack
         # slot; mem2reg promotes them back.
@@ -297,6 +298,7 @@ class CodeGenerator:
         self.scope = self.scope.parent  # type: ignore[assignment]
 
     def gen_statement(self, stmt: ast.Stmt) -> None:
+        self.builder.current_line = stmt.line
         if self.builder.block is not None and self.builder.block.is_terminated:
             # Unreachable statement (code after return/break): emit into
             # a fresh dead block so the IR stays well-formed.
@@ -529,6 +531,7 @@ class CodeGenerator:
         method = getattr(self, "_gen_" + type(expr).__name__.lower(), None)
         if method is None:
             raise CodeGenError(f"unsupported expression {type(expr).__name__}", expr.line)
+        self.builder.current_line = expr.line
         return method(expr)
 
     # -- literals --------------------------------------------------------------
@@ -778,6 +781,7 @@ class CodeGenerator:
         from ..core.instructions import AllocaInst
 
         slot = AllocaInst(ty, None, name)
+        slot.loc = self.builder.current_line
         self.function.entry_block.insert(0, slot)
         return slot
 

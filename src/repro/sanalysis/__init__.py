@@ -1,0 +1,122 @@
+"""Static analysis: a sparse dataflow engine and the `lc-lint` checker suite.
+
+The paper's claim is that a typed, SSA-based IR supports "lifelong
+program analysis", not just optimization.  This package is the analysis
+half of that claim: a reusable dataflow engine (:mod:`.dataflow`)
+driving a catalogue of correctness checkers (:mod:`.checkers`) that emit
+structured, source-located diagnostics (:mod:`.diagnostics`).
+
+Entry points:
+
+* :func:`run_checkers` — run some or all checkers over a module and get
+  the diagnostics back.
+* :class:`StaticCheckSuite` — the same suite packaged as a pass-manager
+  pass (registered as ``lint`` in ``lc-opt``), so analysis can be
+  scheduled inside any pipeline; it never mutates the IR.
+* ``lc-lint`` (in :mod:`repro.tools`) — the command-line driver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core.module import Module
+from .checkers import ALL_CHECKERS, CHECKERS, CallSignatureChecker
+from .dataflow import (
+    BACKWARD, DenseAnalysis, DenseResult, FORWARD, SparseAnalysis,
+    SparseResult, solve_dense, solve_sparse,
+)
+from .diagnostics import Diagnostic, Reporter, Severity
+
+
+def run_checkers(module: Module, checks: Optional[Iterable[str]] = None,
+                 reporter: Optional[Reporter] = None) -> list[Diagnostic]:
+    """Run the named checkers (default: all) over ``module``.
+
+    Returns the diagnostics sorted by function and source line.  Raises
+    ``ValueError`` for an unknown checker name.
+    """
+    if reporter is None:
+        reporter = Reporter()
+    selected = []
+    for name in checks if checks is not None else CHECKERS:
+        factory = CHECKERS.get(name)
+        if factory is None:
+            known = ", ".join(sorted(CHECKERS))
+            raise ValueError(f"unknown checker {name!r} (known: {known})")
+        selected.append(factory)
+    ssa_view: Optional[Module] = None
+    for factory in selected:
+        target = module
+        if getattr(factory, "wants_ssa", False):
+            if ssa_view is None:
+                ssa_view = _promoted_view(module)
+            target = ssa_view
+        factory().check_module(target, reporter)
+    return reporter.sorted()
+
+
+def _promoted_view(module: Module) -> Module:
+    """A stack-promoted (mem2reg) clone for checkers that need SSA
+    def-use chains; the original module is never mutated."""
+    from ..linker import link_modules
+    from ..transforms.mem2reg import PromoteMem2Reg
+
+    clone = link_modules([module], module.name)
+    promote = PromoteMem2Reg()
+    for function in list(clone.defined_functions()):
+        promote.run_on_function(function)
+    return clone
+
+
+def check_cross_module(modules: Sequence[Module],
+                       reporter: Optional[Reporter] = None) -> list[Diagnostic]:
+    """Pre-link prototype consistency check across translation units."""
+    if reporter is None:
+        reporter = Reporter()
+    CallSignatureChecker().check_modules(modules, reporter)
+    return reporter.sorted()
+
+
+class StaticCheckSuite:
+    """The checker suite as a schedulable (read-only) module pass.
+
+    ``run_on_module`` appends to :attr:`diagnostics` and always returns
+    False — linting never changes the IR — so it can sit anywhere in a
+    pipeline, including between transformation passes under
+    ``--verify-each``.
+    """
+
+    name = "lint"
+
+    def __init__(self, checks: Optional[Sequence[str]] = None):
+        self.checks = list(checks) if checks is not None else None
+        self.reporter = Reporter()
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return self.reporter.sorted()
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.reporter.errors
+
+    def run_on_module(self, module: Module) -> bool:
+        run_checkers(module, self.checks, self.reporter)
+        return False
+
+    def statistics(self) -> dict[str, int]:
+        """Per-checker finding counts (the ``lc-opt -stats`` hook)."""
+        stats: dict[str, int] = {}
+        for diag in self.reporter.diagnostics:
+            stats[diag.checker] = stats.get(diag.checker, 0) + 1
+        stats["errors"] = len(self.reporter.errors)
+        return stats
+
+
+__all__ = [
+    "ALL_CHECKERS", "BACKWARD", "CHECKERS", "DenseAnalysis", "DenseResult",
+    "Diagnostic", "FORWARD", "Reporter", "Severity", "SparseAnalysis",
+    "SparseResult", "StaticCheckSuite", "check_cross_module", "run_checkers",
+    "solve_dense", "solve_sparse",
+]

@@ -1,0 +1,520 @@
+"""The checker catalogue: IR-level static checks built on the dataflow engine.
+
+Each checker is a small class with a ``name``, a ``description``, and a
+``check_module(module, reporter)`` entry point that appends structured
+:class:`~repro.sanalysis.diagnostics.Diagnostic` values and never
+mutates the IR.  The catalogue (see docs/ANALYSIS.md):
+
+========================  =====================================================
+``uninit``                load-before-store on promotable allocas
+``null-deref``            dereference of a pointer proven null (sparse lattice)
+``gep-bounds``            statically out-of-bounds constant array indexing
+``dead-store``            stores to locals that are never read back
+``unreachable``           basic blocks no path from the entry can reach
+``call-signature``        calls through mismatched function-pointer casts,
+                          plus cross-module symbol signature conflicts
+``type-safety``           pointer casts whose target object DSA collapsed
+========================  =====================================================
+
+The first four are dataflow clients; ``gep-bounds`` is the *static*
+complement of the SAFECode runtime-check pass (safecode.py): any index
+it rejects here, safecode would have turned into a guaranteed trap at
+run time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..analysis.cfg import reachable_blocks, unreachable_blocks
+from ..core import types
+from ..core.instructions import (
+    AllocaInst, AllocationInst, CallInst, CastInst, FreeInst,
+    GetElementPtrInst, Instruction, InvokeInst, LoadInst, PhiNode,
+    StoreInst, VAArgInst,
+)
+from ..core.module import Function, GlobalValue, Module
+from ..core.values import (
+    ConstantExpr, ConstantInt, ConstantPointerNull, UndefValue, Value,
+)
+from ..transforms.mem2reg import is_promotable
+from .dataflow import (
+    BACKWARD, DenseAnalysis, FORWARD, SparseAnalysis, solve_dense,
+    solve_sparse,
+)
+from .diagnostics import Reporter, Severity
+
+
+def _tracked_allocas(function: Function) -> list[AllocaInst]:
+    """The allocas whose every access is visible: scalar slots whose
+    address never escapes (exactly the ones mem2reg can promote)."""
+    return [
+        inst
+        for block in function.blocks
+        for inst in block.instructions
+        if isinstance(inst, AllocaInst) and is_promotable(inst)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# uninit: use of uninitialized memory
+# ---------------------------------------------------------------------------
+
+class _InitState(DenseAnalysis):
+    """Forward may/must initialization of tracked allocas.
+
+    ``must`` mode: meet is intersection (initialized on *every* path);
+    ``may`` mode: meet is union (initialized on *some* path).
+    """
+
+    direction = FORWARD
+
+    def __init__(self, tracked: frozenset, must: bool):
+        self.tracked = tracked
+        self.must = must
+
+    def boundary(self, function: Function):
+        return frozenset()  # nothing is initialized on function entry
+
+    def top(self, function: Function):
+        return self.tracked if self.must else frozenset()
+
+    def meet(self, a, b):
+        return (a & b) if self.must else (a | b)
+
+    def transfer(self, block, state):
+        for inst in block.instructions:
+            if isinstance(inst, StoreInst) and inst.pointer in self.tracked:
+                state = state | {inst.pointer}
+        return state
+
+
+class UninitializedLoadChecker:
+    """Load-before-store on stack slots mem2reg could have promoted.
+
+    After mem2reg has run these slots no longer exist, so the checker is
+    naturally silent on optimized IR; run it on front-end output to see
+    source-level uninitialized reads.
+    """
+
+    name = "uninit"
+    description = "use of a stack variable before it is initialized"
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        for function in module.defined_functions():
+            self.check_function(function, reporter)
+
+    def check_function(self, function: Function, reporter: Reporter) -> None:
+        tracked = frozenset(_tracked_allocas(function))
+        if not tracked:
+            return
+        must = solve_dense(_InitState(tracked, must=True), function)
+        may = solve_dense(_InitState(tracked, must=False), function)
+        for block in reachable_blocks(function):
+            definite = set(must.block_in[block])
+            possible = set(may.block_in[block])
+            for inst in block.instructions:
+                if isinstance(inst, LoadInst) and inst.pointer in tracked:
+                    slot = inst.pointer
+                    label = slot.name or "<unnamed>"
+                    if slot not in possible:
+                        reporter.error(
+                            self.name,
+                            f"variable '{label}' is read before any "
+                            "initialization",
+                            instruction=inst,
+                            fixit=f"initialize '{label}' at its declaration",
+                        )
+                    elif slot not in definite:
+                        reporter.warning(
+                            self.name,
+                            f"variable '{label}' may be read before "
+                            "initialization (uninitialized on some paths)",
+                            instruction=inst,
+                        )
+                elif isinstance(inst, StoreInst) and inst.pointer in tracked:
+                    definite.add(inst.pointer)
+                    possible.add(inst.pointer)
+
+
+# ---------------------------------------------------------------------------
+# null-deref: nullness lattice through phis and casts
+# ---------------------------------------------------------------------------
+
+#: Four-point nullness lattice.
+NULL_TOP = "top"          #: no evidence yet (optimistic)
+NULL_NULL = "null"        #: provably the null pointer
+NULL_NONNULL = "nonnull"  #: provably a valid object address
+NULL_MAYBE = "maybe"      #: could be either
+
+
+class _Nullness(SparseAnalysis):
+    def top(self):
+        return NULL_TOP
+
+    def meet(self, a, b):
+        if a == NULL_TOP:
+            return b
+        if b == NULL_TOP or a == b:
+            return a
+        return NULL_MAYBE
+
+    def initial(self, value: Value):
+        if not value.type.is_pointer:
+            return NULL_MAYBE
+        if isinstance(value, ConstantPointerNull):
+            return NULL_NULL
+        if isinstance(value, GlobalValue):
+            return NULL_NONNULL
+        if isinstance(value, UndefValue):
+            return NULL_MAYBE
+        if isinstance(value, ConstantExpr):
+            base = value.operands[0]
+            if base.type.is_pointer:
+                return self.initial(base)
+            return NULL_MAYBE
+        return NULL_MAYBE  # arguments, anything else
+
+    def transfer(self, inst: Instruction, get: Callable[[Value], object]):
+        if not inst.type.is_pointer:
+            return NULL_MAYBE
+        if isinstance(inst, AllocationInst):
+            return NULL_NONNULL  # alloca/malloc: the runtime traps, never null
+        if isinstance(inst, GetElementPtrInst):
+            # Address arithmetic preserves the verdict: stepping from
+            # null still yields a pointer no object can live at.
+            return get(inst.pointer)
+        if isinstance(inst, CastInst):
+            if inst.value.type.is_pointer:
+                return get(inst.value)
+            return NULL_MAYBE
+        if isinstance(inst, PhiNode):
+            element = NULL_TOP
+            for value, _ in inst.incoming:
+                element = self.meet(element, get(value))
+            return element
+        return NULL_MAYBE  # loads, calls, vaarg: memory contents unknown
+
+
+def _dereferenced_pointer(inst: Instruction) -> Optional[Value]:
+    """The pointer operand ``inst`` actually accesses, if any."""
+    if isinstance(inst, LoadInst):
+        return inst.pointer
+    if isinstance(inst, StoreInst):
+        return inst.pointer
+    if isinstance(inst, FreeInst):
+        return inst.pointer
+    if isinstance(inst, (CallInst, InvokeInst)):
+        return inst.callee
+    if isinstance(inst, VAArgInst):
+        return inst.valist
+    return None
+
+
+class NullDereferenceChecker:
+    """Dereference of a pointer the sparse nullness lattice proves null.
+
+    Sparse propagation needs real SSA to see through local pointer
+    variables, so the suite runs this checker on a stack-promoted view
+    of the module (``wants_ssa``); front-end output keeps pointers in
+    alloca slots where no def-use chain exists yet.
+    """
+
+    name = "null-deref"
+    description = "load, store, call, or free through a null pointer"
+    wants_ssa = True
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        for function in module.defined_functions():
+            self.check_function(function, reporter)
+
+    def check_function(self, function: Function, reporter: Reporter) -> None:
+        result = solve_sparse(_Nullness(), function)
+        analysis = _Nullness()
+        for block in reachable_blocks(function):
+            for inst in block.instructions:
+                pointer = _dereferenced_pointer(inst)
+                if pointer is None:
+                    continue
+                element = result.get(pointer)
+                if element is None:
+                    element = analysis.initial(pointer)
+                if element == NULL_NULL:
+                    what = inst.opcode.value
+                    reporter.error(
+                        self.name,
+                        f"{what} through a pointer that is provably null",
+                        instruction=inst,
+                        fixit="guard the access with a null check",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# gep-bounds: statically out-of-bounds array indexing
+# ---------------------------------------------------------------------------
+
+class StaticBoundsChecker:
+    """Constant array indices outside ``[0, N)`` for ``[N x T]`` steps.
+
+    The static complement of safecode.py: where the SAFECode pass
+    inserts a runtime guard, this checker proves at compile time that
+    the guard would always fire.
+    """
+
+    name = "gep-bounds"
+    description = "constant getelementptr index outside the array bound"
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        for function in module.defined_functions():
+            for block in reachable_blocks(function):
+                for inst in block.instructions:
+                    if isinstance(inst, GetElementPtrInst):
+                        self._check_gep(inst, reporter)
+
+    def _check_gep(self, gep: GetElementPtrInst, reporter: Reporter) -> None:
+        current = gep.pointer.type.pointee
+        for position, index in enumerate(gep.indices):
+            if position == 0:
+                continue  # stepping over the pointer has no static bound
+            if current.is_struct:
+                current = current.fields[index.value]  # type: ignore[attr-defined]
+                continue
+            bound = current.count  # type: ignore[attr-defined]
+            if isinstance(index, ConstantInt) and not (0 <= index.value < bound):
+                reporter.error(
+                    self.name,
+                    f"index {index.value} is out of bounds for "
+                    f"{current} (valid range 0..{bound - 1})",
+                    instruction=gep,
+                    fixit=f"clamp the index into 0..{bound - 1}",
+                )
+            current = current.element  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# dead-store: stores to locals never read back
+# ---------------------------------------------------------------------------
+
+class _SlotLiveness(DenseAnalysis):
+    """Backward may-liveness of tracked alloca slots."""
+
+    direction = BACKWARD
+
+    def __init__(self, tracked: frozenset):
+        self.tracked = tracked
+
+    def boundary(self, function: Function):
+        return frozenset()  # locals are dead once the function returns
+
+    def top(self, function: Function):
+        return frozenset()
+
+    def meet(self, a, b):
+        return a | b
+
+    def transfer(self, block, state):
+        for inst in reversed(block.instructions):
+            if isinstance(inst, LoadInst) and inst.pointer in self.tracked:
+                state = state | {inst.pointer}
+            elif isinstance(inst, StoreInst) and inst.pointer in self.tracked:
+                state = state - {inst.pointer}
+        return state
+
+
+class DeadStoreChecker:
+    """Stores into tracked stack slots whose value is never read."""
+
+    name = "dead-store"
+    description = "a stored value is overwritten or discarded unread"
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        for function in module.defined_functions():
+            self.check_function(function, reporter)
+
+    def check_function(self, function: Function, reporter: Reporter) -> None:
+        tracked = frozenset(_tracked_allocas(function))
+        if not tracked:
+            return
+        loaded_somewhere = {
+            inst.pointer
+            for block in function.blocks
+            for inst in block.instructions
+            if isinstance(inst, LoadInst) and inst.pointer in tracked
+        }
+        result = solve_dense(_SlotLiveness(tracked), function)
+        for block in reachable_blocks(function):
+            live = set(result.block_out[block])
+            for inst in reversed(block.instructions):
+                if isinstance(inst, LoadInst) and inst.pointer in tracked:
+                    live.add(inst.pointer)
+                elif isinstance(inst, StoreInst) and inst.pointer in tracked:
+                    if inst.pointer not in live:
+                        label = inst.pointer.name or "<unnamed>"
+                        if inst.pointer in loaded_somewhere:
+                            detail = "overwritten before it is read"
+                        else:
+                            detail = "never read"
+                        reporter.warning(
+                            self.name,
+                            f"value stored to '{label}' is {detail}",
+                            instruction=inst,
+                        )
+                    live.discard(inst.pointer)
+
+
+# ---------------------------------------------------------------------------
+# unreachable: blocks no path from the entry reaches
+# ---------------------------------------------------------------------------
+
+class UnreachableCodeChecker:
+    name = "unreachable"
+    description = "basic blocks that no execution path can reach"
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        for function in module.defined_functions():
+            for block in unreachable_blocks(function):
+                reporter.warning(
+                    self.name,
+                    f"block '{block.name or '<unnamed>'}' is unreachable "
+                    f"({len(block.instructions)} instructions of dead code)",
+                    function=function,
+                    block=block,
+                    line=next(
+                        (i.loc for i in block.instructions if i.loc is not None),
+                        None,
+                    ),
+                    fixit="delete the dead code or run simplifycfg",
+                )
+
+
+# ---------------------------------------------------------------------------
+# call-signature: mismatches the type system was cast around
+# ---------------------------------------------------------------------------
+
+def _underlying_function(callee: Value) -> Optional[Value]:
+    """Peel constant casts off a callee to find the function beneath."""
+    while isinstance(callee, ConstantExpr) and callee.opcode == "cast":
+        callee = callee.operands[0]
+    if isinstance(callee, GlobalValue) and callee.type.is_pointer \
+            and callee.type.pointee.is_function:
+        return callee
+    return None
+
+
+class CallSignatureChecker:
+    """Calls whose cast-constructed callee hides a signature mismatch.
+
+    In-module call sites are type-checked at construction time; what
+    slips through is a call *through a cast* of a function symbol — the
+    idiom the linker produces when translation units disagreed about a
+    prototype.  :meth:`check_modules` performs the same check *before*
+    linking, across module boundaries.
+    """
+
+    name = "call-signature"
+    description = "call signature disagrees with the callee's definition"
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        for function in module.defined_functions():
+            for block in reachable_blocks(function):
+                for inst in block.instructions:
+                    if isinstance(inst, (CallInst, InvokeInst)):
+                        self._check_site(inst, reporter)
+
+    def _check_site(self, inst, reporter: Reporter) -> None:
+        callee = inst.callee
+        if not isinstance(callee, ConstantExpr):
+            return
+        target = _underlying_function(callee)
+        if target is None:
+            return
+        declared = callee.type.pointee   # what the call site believes
+        defined = target.type.pointee    # what the symbol actually is
+        if declared is defined:
+            return
+        reporter.error(
+            self.name,
+            f"call to '{target.name}' through a cast: call site expects "
+            f"{declared} but the symbol is {defined}",
+            instruction=inst,
+            fixit=f"fix the prototype of '{target.name}' to match its "
+            "definition",
+        )
+
+    def check_modules(self, modules, reporter: Reporter) -> None:
+        """Cross-module prototype check, run before the linker merges."""
+        seen: dict[str, tuple[str, str]] = {}
+        for module in modules:
+            for name, symbol in list(module.functions.items()) + \
+                    list(module.globals.items()):
+                if symbol.is_internal:
+                    continue
+                signature = str(symbol.type.pointee)
+                previous = seen.get(name)
+                if previous is None:
+                    seen[name] = (signature, module.name)
+                elif previous[0] != signature:
+                    reporter.error(
+                        self.name,
+                        f"symbol '{name}' declared as {previous[0]} in "
+                        f"module '{previous[1]}' but as {signature} in "
+                        f"module '{module.name}'",
+                        fixit=f"reconcile the declarations of '{name}'",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# type-safety: casts that defeat the declared type structure
+# ---------------------------------------------------------------------------
+
+class TypeUnsafeCastChecker:
+    """Pointer casts whose target object DSA had to collapse.
+
+    Runs Data Structure Analysis and flags every pointer-to-pointer cast
+    whose abstract object lost its field structure — the paper's notion
+    of memory used in a non-type-safe way.  Advisory only (NOTE): the
+    code may be working punning, but no optimization can trust its types.
+    """
+
+    name = "type-safety"
+    description = "pointer cast to an incompatible object layout"
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        from ..analysis.dsa import DataStructureAnalysis
+
+        analysis = DataStructureAnalysis(module)
+        for function in module.defined_functions():
+            for block in reachable_blocks(function):
+                for inst in block.instructions:
+                    if not isinstance(inst, CastInst):
+                        continue
+                    if not (inst.type.is_pointer
+                            and inst.value.type.is_pointer):
+                        continue
+                    if inst.type.pointee is inst.value.type.pointee:
+                        continue
+                    cell = analysis.cells.get(id(inst))
+                    if cell is None:
+                        continue
+                    if cell.resolved().node.collapsed:
+                        reporter.note(
+                            self.name,
+                            f"cast from {inst.value.type} to {inst.type} "
+                            "reinterprets an object whose field structure "
+                            "DSA collapsed (not type-safe)",
+                            instruction=inst,
+                        )
+
+
+#: Checker registry, in report order.
+ALL_CHECKERS = (
+    UninitializedLoadChecker,
+    NullDereferenceChecker,
+    StaticBoundsChecker,
+    DeadStoreChecker,
+    UnreachableCodeChecker,
+    CallSignatureChecker,
+    TypeUnsafeCastChecker,
+)
+
+CHECKERS = {checker.name: checker for checker in ALL_CHECKERS}

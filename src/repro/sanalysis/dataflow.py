@@ -1,0 +1,208 @@
+"""A reusable dataflow engine over the SSA IR.
+
+Two solvers share the meet-over-lattice, worklist-driven core that every
+checker in this package builds on:
+
+* :class:`DenseAnalysis` / :func:`solve_dense` — classic block-level
+  dataflow.  States attach to basic-block boundaries, the direction is
+  forward (states flow entry -> exits) or backward, and the meet
+  combines states over CFG edges.  Initialization is *optimistic*
+  (every block starts at the analysis' top element) so loops converge
+  to the meet-over-all-paths solution, seeded in reverse postorder
+  (forward) or postorder (backward) from :mod:`repro.analysis.cfg` so
+  acyclic code converges in one sweep.
+
+* :class:`SparseAnalysis` / :func:`solve_sparse` — SCCP-style sparse
+  propagation directly over the def-use graph.  Each SSA value carries
+  one lattice element; when a value's element changes, exactly its
+  users are revisited.  This is the "compact def-use graph that
+  simplifies many dataflow optimizations" the paper credits SSA with:
+  no per-block state is ever materialized.
+
+Termination requires what it classically requires: a finite-height
+lattice and monotone transfer functions.  All checkers here use small
+power-set or four-point lattices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional
+
+from ..analysis.cfg import postorder, reachable_blocks, reverse_postorder
+from ..core.basicblock import BasicBlock
+from ..core.instructions import Instruction
+from ..core.module import Function
+from ..core.values import Value
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DenseAnalysis:
+    """Subclass-and-override description of a block-level dataflow problem."""
+
+    #: :data:`FORWARD` or :data:`BACKWARD`.
+    direction = FORWARD
+
+    def boundary(self, function: Function):
+        """The state at the entry (forward) or at every exit (backward)."""
+        raise NotImplementedError
+
+    def top(self, function: Function):
+        """The optimistic initial state for every other block."""
+        raise NotImplementedError
+
+    def meet(self, a, b):
+        """Combine two states where CFG paths join."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, state):
+        """Push a state through ``block`` (in program order for forward
+        analyses, reverse program order for backward ones)."""
+        raise NotImplementedError
+
+
+class DenseResult:
+    """Fixpoint states at both boundaries of every reachable block."""
+
+    def __init__(self, block_in: Dict[BasicBlock, object],
+                 block_out: Dict[BasicBlock, object], iterations: int):
+        #: State at block entry (forward: before the first instruction).
+        self.block_in = block_in
+        #: State at block exit (forward: after the terminator).
+        self.block_out = block_out
+        #: Number of block transfers executed before the fixpoint.
+        self.iterations = iterations
+
+
+def solve_dense(analysis: DenseAnalysis, function: Function) -> DenseResult:
+    """Run ``analysis`` to a fixpoint over ``function``'s reachable CFG."""
+    forward = analysis.direction == FORWARD
+    order = reverse_postorder(function) if forward else postorder(function)
+    reachable = set(reachable_blocks(function))
+
+    boundary = analysis.boundary(function)
+    top = analysis.top(function)
+    block_in: Dict[BasicBlock, object] = {b: top for b in order}
+    block_out: Dict[BasicBlock, object] = {b: top for b in order}
+
+    def inputs(block: BasicBlock) -> list[BasicBlock]:
+        if forward:
+            return [p for p in block.unique_predecessors() if p in reachable]
+        return [s for s in block.successors() if s in reachable]
+
+    def outputs(block: BasicBlock) -> list[BasicBlock]:
+        if forward:
+            return [s for s in block.successors() if s in reachable]
+        return [p for p in block.unique_predecessors() if p in reachable]
+
+    worklist = deque(order)
+    queued = set(order)
+    iterations = 0
+    while worklist:
+        block = worklist.popleft()
+        queued.discard(block)
+        iterations += 1
+
+        sources = inputs(block)
+        if not sources:
+            state = boundary
+        else:
+            state = block_out[sources[0]] if forward else block_in[sources[0]]
+            for source in sources[1:]:
+                other = block_out[source] if forward else block_in[source]
+                state = analysis.meet(state, other)
+
+        result = analysis.transfer(block, state)
+        if forward:
+            block_in[block] = state
+            changed = result != block_out[block]
+            block_out[block] = result
+        else:
+            block_out[block] = state
+            changed = result != block_in[block]
+            block_in[block] = result
+        if changed:
+            for target in outputs(block):
+                if target not in queued:
+                    queued.add(target)
+                    worklist.append(target)
+    return DenseResult(block_in, block_out, iterations)
+
+
+class SparseAnalysis:
+    """Subclass-and-override description of a sparse SSA-value problem.
+
+    Sparse analyses are forward by nature: information flows from a
+    definition to its uses along def-use edges.
+    """
+
+    def top(self):
+        """The optimistic element every instruction starts at."""
+        raise NotImplementedError
+
+    def initial(self, value: Value):
+        """The element of a non-instruction value (argument, constant,
+        global); called once per value and cached."""
+        raise NotImplementedError
+
+    def transfer(self, inst: Instruction, get: Callable[[Value], object]):
+        """The element of ``inst`` given its operands' elements."""
+        raise NotImplementedError
+
+    def meet(self, a, b):
+        raise NotImplementedError
+
+
+class SparseResult:
+    """The per-value fixpoint of a sparse analysis."""
+
+    def __init__(self, values: Dict[Value, object], iterations: int):
+        self.values = values
+        self.iterations = iterations
+
+    def __getitem__(self, value: Value):
+        return self.values[value]
+
+    def get(self, value: Value, default=None):
+        return self.values.get(value, default)
+
+
+def solve_sparse(analysis: SparseAnalysis, function: Function) -> SparseResult:
+    """Propagate lattice elements along def-use edges to a fixpoint."""
+    elements: Dict[Value, object] = {}
+    top = analysis.top()
+
+    instructions: list[Instruction] = []
+    in_function: set[int] = set()
+    for block in reverse_postorder(function):
+        for inst in block.instructions:
+            instructions.append(inst)
+            in_function.add(id(inst))
+            elements[inst] = top
+
+    def get(value: Value):
+        existing = elements.get(value)
+        if existing is not None or value in elements:
+            return existing
+        element = analysis.initial(value)
+        elements[value] = element
+        return element
+
+    worklist = deque(instructions)
+    queued = {id(inst) for inst in instructions}
+    iterations = 0
+    while worklist:
+        inst = worklist.popleft()
+        queued.discard(id(inst))
+        iterations += 1
+        new = analysis.transfer(inst, get)
+        if new != elements[inst]:
+            elements[inst] = new
+            for user in inst.users():
+                if (isinstance(user, Instruction) and id(user) in in_function
+                        and id(user) not in queued):
+                    queued.add(id(user))
+                    worklist.append(user)
+    return SparseResult(elements, iterations)

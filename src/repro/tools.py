@@ -9,6 +9,7 @@
 | lc-link   | llvm-link/gccld | link modules (+ link-time IPO with -lto) |
 | lc-run    | lli             | execute a module in the execution engine |
 | lc-llc    | llc             | "native" code generation (sizes + assembly) |
+| lc-lint   | (clang-tidy)    | static checker suite over IR or LC source |
 
 Each accepts ``-`` for stdin/stdout where that makes sense.  Installed
 as console scripts; also callable as ``python -m repro.tools <tool>``.
@@ -123,12 +124,14 @@ _PASS_FACTORIES = {}
 def _pass_registry():
     if not _PASS_FACTORIES:
         from . import transforms
+        from .sanalysis import StaticCheckSuite
         from .transforms import ipo
         from .transforms.reg2mem import DemoteRegisters
         from .transforms.safecode import BoundsCheckInsertion
         from .transforms.typeerase import TypeEraser
 
         _PASS_FACTORIES.update({
+            "lint": StaticCheckSuite,
             "mem2reg": transforms.PromoteMem2Reg,
             "sroa": transforms.ScalarReplAggregates,
             "simplifycfg": transforms.SimplifyCFG,
@@ -168,11 +171,19 @@ def lc_opt(argv=None) -> int:
                         help="run the standard -ON pipeline")
     parser.add_argument("-p", "--passes", default="",
                         help=f"comma list from: {', '.join(sorted(_pass_registry()))}")
-    parser.add_argument("--verify-each", action="store_true")
+    parser.add_argument("--verify-each", action="store_true",
+                        help="run the IR verifier after every pass")
+    parser.add_argument("-stats", action="store_true", dest="stats",
+                        help="print per-pass statistics to stderr")
     args = parser.parse_args(argv)
     module = _read_module(args.input)
+    managers = []
     if args.level is not None:
-        optimize_module(module, args.level, args.verify_each)
+        from .driver.pipelines import standard_pipeline
+
+        manager = standard_pipeline(args.level, args.verify_each)
+        manager.run(module)
+        managers.append(manager)
     if args.passes:
         from .transforms import PassManager
 
@@ -184,9 +195,30 @@ def lc_opt(argv=None) -> int:
                 parser.error(f"unknown pass {name!r}")
             manager.add(registry[name]())
         manager.run(module)
+        managers.append(manager)
     verify_module(module)
+    for manager in managers:
+        for pass_obj in manager.passes:
+            for diag in getattr(pass_obj, "diagnostics", ()):
+                print(diag.render(args.input), file=sys.stderr)
+    if args.stats:
+        for manager in managers:
+            _print_stats(manager)
     _write_module(module, args.o, args.binary)
     return 0
+
+
+def _print_stats(manager) -> None:
+    """LLVM `-stats` style report: one line per (pass, counter)."""
+    lines = []
+    for name, counters in manager.statistics().items():
+        for counter, value in sorted(counters.items()):
+            lines.append(f"{value:8d} {name:<18s} {counter}")
+    if lines:
+        print("===" + "-" * 20 + " statistics " + "-" * 20 + "===",
+              file=sys.stderr)
+        for line in lines:
+            print(line, file=sys.stderr)
 
 
 def lc_link(argv=None) -> int:
@@ -233,6 +265,99 @@ def lc_run(argv=None) -> int:
     return int(result) & 0xFF if isinstance(result, int) else 0
 
 
+def _load_for_lint(path: str):
+    """Load one lint input: LC source (by extension), bytecode (by
+    magic), or textual IR.  Returns (module, display_name)."""
+    if path != "-" and path.endswith(".lc"):
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        return compile_source(_read_text(path), name), path
+    if path == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    if data[:4] == b"llvm":
+        return read_bytecode(data), path
+    text = data.decode("utf-8")
+    try:
+        return parse_module(text), path
+    except Exception:
+        # Not textual IR; last resort: treat it as LC source.
+        return compile_source(text, "stdin" if path == "-" else path), path
+
+
+def lc_lint(argv=None) -> int:
+    """Run the static checker suite; exit nonzero on errors."""
+    from .sanalysis import CHECKERS, check_cross_module, run_checkers
+
+    parser = argparse.ArgumentParser(
+        prog="lc-lint",
+        description="IR-level static checker suite (see docs/ANALYSIS.md)",
+    )
+    parser.add_argument("inputs", nargs="*",
+                        help="LC source (.lc), textual IR, or bytecode")
+    parser.add_argument("--checks", default="",
+                        help=f"comma list from: {', '.join(sorted(CHECKERS))}")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the checker catalogue and exit")
+    parser.add_argument("-O", type=int, default=0, dest="level",
+                        help="optimize before linting (0 = lint raw IR)")
+    parser.add_argument("--lto", action="store_true",
+                        help="link all inputs and lint the whole program")
+    parser.add_argument("--Werror", action="store_true", dest="werror",
+                        help="treat warnings as errors for the exit code")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for name in sorted(CHECKERS):
+            print(f"{name:16s} {CHECKERS[name].description}")
+        return 0
+    if not args.inputs:
+        parser.error("no inputs")
+
+    checks = None
+    if args.checks:
+        checks = [name.strip() for name in args.checks.split(",")]
+        for name in checks:
+            if name not in CHECKERS:
+                parser.error(f"unknown checker {name!r}")
+
+    loaded = [_load_for_lint(path) for path in args.inputs]
+    diagnostics = []
+    rendered: list[str] = []
+    for module, display in loaded:
+        if args.level:
+            optimize_module(module, args.level)
+        for diag in run_checkers(module, checks):
+            diagnostics.append(diag)
+            rendered.append(diag.render(display))
+    if len(loaded) > 1:
+        cross = check_cross_module([module for module, _ in loaded])
+        for diag in cross:
+            diagnostics.append(diag)
+            rendered.append(diag.render("<link>"))
+        # Linking would hard-fail on exactly the conflicts just reported.
+        if args.lto and not any(d.is_error for d in cross):
+            linked = link_modules([module for module, _ in loaded], "program")
+            link_time_optimize(linked, max(args.level, 1))
+            for diag in run_checkers(linked, checks):
+                diagnostics.append(diag)
+                rendered.append(diag.render("<program>"))
+    for line in rendered:
+        print(line)
+    errors = sum(1 for d in diagnostics if d.is_error)
+    warnings = sum(1 for d in diagnostics
+                   if d.severity.name == "WARNING")
+    if not args.quiet:
+        print(f"lc-lint: {errors} error(s), {warnings} warning(s), "
+              f"{len(diagnostics) - errors - warnings} note(s)",
+              file=sys.stderr)
+    failed = errors > 0 or (args.werror and warnings > 0)
+    return 1 if failed else 0
+
+
 def lc_llc(argv=None) -> int:
     """Generate 'native' code: assembly listing or size report."""
     parser = argparse.ArgumentParser(
@@ -274,7 +399,7 @@ def lc_llc(argv=None) -> int:
 
 _TOOLS = {
     "cc": lc_cc, "as": lc_as, "dis": lc_dis, "opt": lc_opt,
-    "link": lc_link, "run": lc_run, "llc": lc_llc,
+    "link": lc_link, "run": lc_run, "llc": lc_llc, "lint": lc_lint,
 }
 
 

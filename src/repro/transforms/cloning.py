@@ -38,6 +38,12 @@ def clone_instruction(inst: Instruction, value_map: dict[int, Value],
     get = lambda v: remap(v, value_map)  # noqa: E731
     if map_type is None:
         map_type = lambda t: t  # noqa: E731
+    clone = _clone_instruction(inst, get, map_type)
+    clone.loc = inst.loc
+    return clone
+
+
+def _clone_instruction(inst: Instruction, get, map_type) -> Instruction:
     op = inst.opcode
     if isinstance(inst, ReturnInst):
         value = inst.return_value

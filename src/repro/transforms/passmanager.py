@@ -81,6 +81,37 @@ class PassManager:
                 verify_module(module)
         return changed
 
+    def statistics(self) -> dict[str, dict[str, int]]:
+        """Aggregate per-pass counters (the ``lc-opt -stats`` report).
+
+        A pass participates either by defining ``statistics() -> dict``
+        or by carrying a ``stats`` object whose integer attributes are
+        taken as counters.  Counters from repeated runs of a pass with
+        the same name are summed.
+        """
+        merged: dict[str, dict[str, int]] = {}
+        for pass_obj in self.passes:
+            counters: dict[str, int] = {}
+            stats_fn = getattr(pass_obj, "statistics", None)
+            if callable(stats_fn):
+                counters = dict(stats_fn())
+            else:
+                stats = getattr(pass_obj, "stats", None)
+                if stats is not None:
+                    for attr in dir(stats):
+                        if attr.startswith("_"):
+                            continue
+                        value = getattr(stats, attr)
+                        if isinstance(value, int) and not isinstance(value, bool):
+                            counters[attr] = value
+            if not counters:
+                continue
+            name = getattr(pass_obj, "name", type(pass_obj).__name__)
+            bucket = merged.setdefault(name, {})
+            for counter, value in counters.items():
+                bucket[counter] = bucket.get(counter, 0) + value
+        return merged
+
     def run_until_fixpoint(self, module: Module, max_iterations: int = 8) -> int:
         """Re-run the whole pipeline until nothing changes; returns iterations."""
         for iteration in range(max_iterations):

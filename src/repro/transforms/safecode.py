@@ -46,6 +46,13 @@ class BoundsCheckInsertion:
     def __init__(self):
         self.stats = BoundsCheckStats()
 
+    def statistics(self) -> dict:
+        """Counters surfaced through ``lc-opt -stats``."""
+        return {
+            "checks_inserted": self.stats.checks_inserted,
+            "checks_elided": self.stats.checks_elided,
+        }
+
     def run_on_module(self, module: Module) -> bool:
         fail = module.get_or_insert_function(
             types.function(types.VOID, [types.LONG, types.LONG]),

@@ -5,11 +5,28 @@ import sys
 
 import pytest
 
-from repro.tools import lc_as, lc_cc, lc_dis, lc_link, lc_llc, lc_opt, lc_run
+from repro.tools import (
+    lc_as, lc_cc, lc_dis, lc_link, lc_lint, lc_llc, lc_opt, lc_run,
+)
 
 HELLO = """
 extern int print_int(int x);
 int main() { print_int(40 + 2); return 0; }
+"""
+
+BUGGY = """
+extern int print_int(int x);
+
+int main() {
+  int x;
+  int a[4];
+  int *p;
+  p = null;
+  a[7] = 1;
+  print_int(x);
+  print_int(*p);
+  return 0;
+}
 """
 
 
@@ -17,6 +34,13 @@ int main() { print_int(40 + 2); return 0; }
 def hello_lc(tmp_path):
     path = tmp_path / "hello.lc"
     path.write_text(HELLO)
+    return str(path)
+
+
+@pytest.fixture
+def buggy_lc(tmp_path):
+    path = tmp_path / "buggy.lc"
+    path.write_text(BUGGY)
     return str(path)
 
 
@@ -92,6 +116,35 @@ int main() { return helper(21); }
                         "-o", str(linked)]) == 0
         assert lc_run([str(linked)]) == 42
 
+    def test_opt_verify_each(self, hello_lc, tmp_path):
+        ll = tmp_path / "x.ll"
+        out = tmp_path / "opt.ll"
+        lc_cc([hello_lc, "-o", str(ll)])
+        assert lc_opt([str(ll), "-O", "2", "--verify-each",
+                       "-o", str(out)]) == 0
+        assert "%main" in out.read_text()
+
+    def test_opt_stats_reports_bounds_check_elision(self, tmp_path, capsys):
+        """`-p safecode -stats` shows the inserted/elided split; the
+        provably in-range constant index is elided, a[7] is not."""
+        src = tmp_path / "b.lc"
+        src.write_text("""
+int main() {
+  int a[4];
+  a[3] = 1;
+  a[7] = 2;
+  return 0;
+}
+""")
+        ll = tmp_path / "b.ll"
+        lc_cc([str(src), "-o", str(ll)])
+        assert lc_opt([str(ll), "-p", "safecode", "-stats",
+                       "-o", str(tmp_path / "out.ll")]) == 0
+        err = capsys.readouterr().err
+        assert "statistics" in err
+        assert "1 safecode-bounds    checks_elided" in err
+        assert "1 safecode-bounds    checks_inserted" in err
+
     def test_module_entry_point(self, hello_lc):
         result = subprocess.run(
             [sys.executable, "-m", "repro.tools", "cc", hello_lc, "-O", "2"],
@@ -104,3 +157,67 @@ int main() { return helper(21); }
         from repro.tools import main
 
         assert main([]) == 2
+
+
+class TestLint:
+    def test_buggy_source_fails_with_located_diagnostics(self, buggy_lc,
+                                                         capsys):
+        assert lc_lint([buggy_lc]) == 1
+        captured = capsys.readouterr()
+        out = captured.out
+        assert f"{buggy_lc}:9: error:" in out and "[gep-bounds]" in out
+        assert f"{buggy_lc}:10: error:" in out and "[uninit]" in out
+        assert f"{buggy_lc}:11: error:" in out and "[null-deref]" in out
+        assert "3 error(s)" in captured.err
+
+    def test_clean_source_passes(self, hello_lc, capsys):
+        assert lc_lint([hello_lc]) == 0
+        assert "0 error(s)" in capsys.readouterr().err
+
+    def test_checks_selection(self, buggy_lc, capsys):
+        assert lc_lint([buggy_lc, "--checks", "gep-bounds"]) == 1
+        out = capsys.readouterr().out
+        assert "[gep-bounds]" in out and "[uninit]" not in out
+
+    def test_unknown_check_rejected(self, buggy_lc):
+        with pytest.raises(SystemExit):
+            lc_lint([buggy_lc, "--checks", "bogus"])
+
+    def test_list_checks(self, capsys):
+        assert lc_lint(["--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("uninit", "null-deref", "gep-bounds", "dead-store",
+                     "unreachable", "call-signature", "type-safety"):
+            assert name in out
+
+    def test_lints_textual_ir_and_bytecode(self, buggy_lc, tmp_path, capsys):
+        ll = tmp_path / "b.ll"
+        bc = tmp_path / "b.bc"
+        lc_cc([buggy_lc, "-o", str(ll)])
+        lc_cc([buggy_lc, "-c", "-o", str(bc)])
+        assert lc_lint([str(ll)]) == 1
+        assert lc_lint([str(bc)]) == 1
+
+    def test_werror_promotes_warnings(self, tmp_path, capsys):
+        src = tmp_path / "w.lc"
+        src.write_text("""
+int main() {
+  int x;
+  x = 1;
+  return 0;
+}
+""")
+        assert lc_lint([str(src)]) == 0       # dead store is a warning
+        assert lc_lint([str(src), "--Werror"]) == 1
+
+    def test_cross_module_signature_conflict(self, tmp_path, capsys):
+        tu1 = tmp_path / "tu1.lc"
+        tu1.write_text("""
+extern int helper(int a, int b);
+int main() { return helper(1, 2); }
+""")
+        tu2 = tmp_path / "tu2.lc"
+        tu2.write_text("int helper(int a) { return a + 1; }")
+        assert lc_lint([str(tu1), str(tu2)]) == 1
+        out = capsys.readouterr().out
+        assert "[call-signature]" in out and "symbol 'helper'" in out

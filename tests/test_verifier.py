@@ -111,6 +111,105 @@ entry:
         with pytest.raises(VerificationError, match="store"):
             verify_function(fn)
 
+    def test_hand_mutated_load_caught(self):
+        fn = parse_function("""
+int %f() {
+entry:
+  %slot = alloca int
+  %wide = alloca long
+  %v = load int* %slot
+  ret int %v
+}
+""")
+        load = fn.entry_block.instructions[2]
+        # Retarget the load at the long slot: pointee no longer matches.
+        load.set_operand(0, fn.entry_block.instructions[1])
+        with pytest.raises(VerificationError, match="load"):
+            verify_function(fn)
+
+    GEP_FN = """
+int %f(long %i) {
+entry:
+  %a = alloca [4 x int]
+  %p = getelementptr [4 x int]* %a, long 0, long %i
+  %v = load int* %p
+  ret int %v
+}
+"""
+
+    def test_valid_gep_passes(self):
+        verify_function(parse_function(self.GEP_FN))
+
+    def test_hand_mutated_gep_nonpointer_base(self):
+        fn = parse_function(self.GEP_FN)
+        gep = fn.entry_block.instructions[1]
+        gep.set_operand(0, ConstantInt(types.LONG, 0))
+        with pytest.raises(VerificationError, match="not a pointer"):
+            verify_function(fn)
+
+    def test_hand_mutated_gep_noninteger_index(self):
+        fn = parse_function(self.GEP_FN)
+        gep = fn.entry_block.instructions[1]
+        # Swap the array index for a pointer-typed value.
+        gep.set_operand(2, fn.entry_block.instructions[0])
+        with pytest.raises(VerificationError, match="index is not an integer"):
+            verify_function(fn)
+
+    def test_hand_mutated_gep_struct_index_not_constant(self):
+        fn = parse_function("""
+int %f(uint %i) {
+entry:
+  %a = alloca { int, bool }
+  %p = getelementptr { int, bool }* %a, long 0, uint 0
+  %v = load int* %p
+  ret int %v
+}
+""")
+        gep = fn.entry_block.instructions[1]
+        # A variable struct field index makes the result type unknowable.
+        gep.set_operand(2, fn.args[0])
+        with pytest.raises(VerificationError, match="malformed getelementptr"):
+            verify_function(fn)
+
+    def test_hand_mutated_gep_stale_result_type(self):
+        fn = parse_function(self.GEP_FN)
+        entry = fn.entry_block
+        builder = IRBuilder(entry)
+        builder.position_before(entry.instructions[1])
+        wide = builder.alloca(types.array(types.LONG, 4), name="w")
+        gep = entry.instructions[2]
+        # Point the GEP at [4 x long]: its int* result type is now stale.
+        gep.set_operand(0, wide)
+        with pytest.raises(VerificationError, match="result type"):
+            verify_function(fn)
+
+    def test_hand_mutated_call_argument_type(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %r = call int %f(int %x)
+  ret int %r
+}
+""")
+        call = fn.entry_block.instructions[0]
+        call.set_operand(1, ConstantInt(types.LONG, 7))
+        with pytest.raises(VerificationError, match="argument type"):
+            verify_function(fn)
+
+    def test_hand_mutated_call_arity(self):
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %r = call int %f(int %x)
+  ret int %r
+}
+""")
+        call = fn.entry_block.instructions[0]
+        # Drop the argument, leaving only the callee operand.
+        call._pop_operands(1)
+        with pytest.raises(VerificationError, match="args"):
+            verify_function(fn)
+
 
 class TestPhiRules:
     def _diamond(self):
