@@ -28,7 +28,7 @@ from ..core.values import (
 )
 from .stream import Reader
 from .writer import (
-    MAGIC, VERSION, _CONST_ARRAY, _CONST_BOOL, _CONST_EXPR_CAST,
+    MAGIC, OLDEST_READABLE_VERSION, VERSION, _CONST_ARRAY, _CONST_BOOL, _CONST_EXPR_CAST,
     _CONST_EXPR_GEP, _CONST_FP, _CONST_INT, _CONST_NULL, _CONST_STRING,
     _CONST_STRUCT, _CONST_SYMBOL, _CONST_UNDEF, _CONST_ZERO,
     _PRIMITIVE_ORDER, _TY_ARRAY, _TY_FUNCTION, _TY_NAMED, _TY_POINTER,
@@ -70,6 +70,7 @@ def read_bytecode_lazy(data: bytes) -> tuple[Module, "_Decoder"]:
 class _Decoder:
     def __init__(self, data: bytes):
         self.reader = Reader(data)
+        self.version = VERSION
         self.types: list[types.Type] = []
         self.symbols: list = []
         self.module: Optional[Module] = None
@@ -82,8 +83,9 @@ class _Decoder:
             raise BytecodeError("bad magic")
         reader.position = 4
         version = reader.u8()
-        if version != VERSION:
+        if not OLDEST_READABLE_VERSION <= version <= VERSION:
             raise BytecodeError(f"unsupported bytecode version {version}")
+        self.version = version
         self.module = Module(reader.string())
         self._read_type_table()
 
@@ -342,18 +344,29 @@ class _Decoder:
             return placeholders[slot]
 
         # Pass 2: build instructions.
+        layout_order: list = []
         for block, block_records in zip(blocks, records):
             for opcode, result_type, ids, value_slot in block_records:
                 inst = self._build_instruction(opcode, result_type, ids,
                                                operand, blocks)
                 block.instructions.append(inst)
                 inst.parent = block
+                layout_order.append(inst)
                 if value_slot is not None:
                     built[value_slot] = inst
         # Replace placeholder uses with the real instructions.
         for placeholder, real in zip(placeholders, built):
             if placeholder.uses:
                 placeholder.replace_all_uses_with(real)
+
+        # Source-location section (absent in version-1 bytecode).
+        if self.version >= 2:
+            for _ in range(reader.uleb()):
+                ordinal = reader.uleb()
+                line = reader.uleb()
+                if ordinal >= len(layout_order):
+                    raise BytecodeError("loc record past end of function")
+                layout_order[ordinal].loc = line
 
         # Optional local symbol table.
         name_count = reader.uleb()

@@ -18,9 +18,15 @@ word each."  This writer reproduces that design:
 
 Sections: magic, type table, global variables (with initializers),
 function headers, function bodies (constant pool + blocks +
-instructions), and an optional symbol table of local value names
-(omitted when ``strip_names`` — the configuration used for size
-measurements, like a stripped native executable).
+instructions + a sparse source-location table since version 2), and an
+optional symbol table of local value names (omitted when
+``strip_names`` — the configuration used for size measurements, like a
+stripped native executable).
+
+The writer is deterministic: two calls over the same module — or over
+two modules built by identical compilations — produce byte-identical
+output, which is what lets the incremental driver use bytecode as a
+content-addressed cache artifact (see :mod:`repro.driver.cache`).
 """
 
 from __future__ import annotations
@@ -42,7 +48,10 @@ from ..core.values import (
 from .stream import Writer
 
 MAGIC = b"llvm"
-VERSION = 1
+#: Version 2 added the per-body source-location section; version-1
+#: bytecode (no locations) is still readable.
+VERSION = 2
+OLDEST_READABLE_VERSION = 1
 
 _OPCODE_INDEX = {op: i for i, op in enumerate(Opcode)}
 _LINKAGE_INDEX = {Linkage.EXTERNAL: 0, Linkage.INTERNAL: 1, Linkage.APPENDING: 2}
@@ -104,8 +113,11 @@ class _TypeTable:
 
 
 class BytecodeWriter:
-    def __init__(self, strip_names: bool = True):
+    def __init__(self, strip_names: bool = True, version: int = VERSION):
+        if not OLDEST_READABLE_VERSION <= version <= VERSION:
+            raise ValueError(f"cannot write bytecode version {version}")
         self.strip_names = strip_names
+        self.version = version
         #: Encoding census: how many instructions fit the packed single
         #: 32-bit word vs needing the escape form (the paper's
         #: "most instructions requiring only a single 32-bit word").
@@ -115,7 +127,7 @@ class BytecodeWriter:
     def write(self, module: Module) -> bytes:
         out = Writer()
         out._chunks += MAGIC
-        out.u8(VERSION)
+        out.u8(self.version)
         out.string(module.name)
 
         type_table = _TypeTable()
@@ -346,6 +358,22 @@ class BytecodeWriter:
             out.uleb(len(block.instructions))
             for inst in block.instructions:
                 self._encode_instruction(out, inst, table, operand_id)
+
+        # Source-location section (version >= 2): sparse records of
+        # (instruction ordinal in layout order, line), so instructions
+        # without a location cost nothing.
+        if self.version >= 2:
+            located: list[tuple[int, int]] = []
+            ordinal = 0
+            for block in function.blocks:
+                for inst in block.instructions:
+                    if inst.loc is not None:
+                        located.append((ordinal, inst.loc))
+                    ordinal += 1
+            out.uleb(len(located))
+            for ordinal, line in located:
+                out.uleb(ordinal)
+                out.uleb(line)
 
         # Symbol table of local names (optional, like -g vs stripped).
         if self.strip_names:

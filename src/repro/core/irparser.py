@@ -50,7 +50,7 @@ class Token:
     __slots__ = ("kind", "text", "line")
 
     def __init__(self, kind: str, text: str, line: int):
-        self.kind = kind  # 'word', 'local' (%foo), 'int', 'float', 'string', punct, 'dotdotdot', 'eof'
+        self.kind = kind  # 'word', 'local' (%foo), 'int', 'float', 'string', 'bang' (!loc), punct, 'dotdotdot', 'eof'
         self.text = text
         self.line = line
 
@@ -79,6 +79,17 @@ def tokenize(source: str) -> list[Token]:
         if source.startswith("...", index):
             tokens.append(Token("dotdotdot", "...", line))
             index += 3
+            continue
+        if char == "!":
+            # Metadata suffix such as ``!loc 42``; the token text is the
+            # metadata kind word following the '!'.
+            index += 1
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            if start == index:
+                raise ParseError("empty !-metadata name", line)
+            tokens.append(Token("bang", source[start:index], line))
             continue
         if char in _PUNCT:
             tokens.append(Token(char, char, line))
@@ -667,6 +678,8 @@ class _FunctionBodyParser:
         opcode_token = parser.expect("word")
         opcode_text = opcode_token.text
         inst = self._dispatch(opcode_text, block)
+        if parser.accept("bang", "loc"):
+            inst.loc = int(parser.expect("int").text)
         block.append(inst)
         if result_name is not None:
             if inst.type.is_void:

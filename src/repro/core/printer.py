@@ -210,6 +210,8 @@ class ModulePrinter:
 
     def format_instruction(self, inst: Instruction, scope: _NameScope) -> str:
         body = self._instruction_body(inst, scope)
+        if inst.loc is not None:
+            body = f"{body} !loc {inst.loc}"
         if inst.type.is_void:
             return body
         return f"%{_quote_name(scope.name_of(inst))} = {body}"

@@ -17,6 +17,7 @@ by name and may have their body set exactly once.
 
 from __future__ import annotations
 
+import threading as _threading
 from typing import Iterable, Optional, Sequence
 
 
@@ -305,6 +306,12 @@ _array_cache: dict[tuple[int, int], ArrayType] = {}
 _struct_cache: dict[tuple[int, ...], StructType] = {}
 _function_cache: dict[tuple, FunctionType] = {}
 
+# Derived-type identity relies on "same structure => same object"; a
+# check-then-insert race between two compiler threads (the parallel
+# batch driver) would mint two objects for one type and break every
+# ``is`` comparison between their modules, so interning takes a lock.
+_intern_lock = _threading.Lock()
+
 
 def integer(bits: int, signed: bool) -> IntegerType:
     """Return the uniqued integer type with the given width and signedness."""
@@ -318,8 +325,11 @@ def pointer(pointee: Type) -> PointerType:
     """Return the uniqued pointer type ``pointee*``."""
     cached = _pointer_cache.get(id(pointee))
     if cached is None:
-        cached = PointerType(pointee)
-        _pointer_cache[id(pointee)] = cached
+        with _intern_lock:
+            cached = _pointer_cache.get(id(pointee))
+            if cached is None:
+                cached = PointerType(pointee)
+                _pointer_cache[id(pointee)] = cached
     return cached
 
 
@@ -328,8 +338,11 @@ def array(element: Type, count: int) -> ArrayType:
     key = (id(element), count)
     cached = _array_cache.get(key)
     if cached is None:
-        cached = ArrayType(element, count)
-        _array_cache[key] = cached
+        with _intern_lock:
+            cached = _array_cache.get(key)
+            if cached is None:
+                cached = ArrayType(element, count)
+                _array_cache[key] = cached
     return cached
 
 
@@ -339,8 +352,11 @@ def struct(fields: Iterable[Type]) -> StructType:
     key = tuple(id(f) for f in field_tuple)
     cached = _struct_cache.get(key)
     if cached is None:
-        cached = StructType(field_tuple)
-        _struct_cache[key] = cached
+        with _intern_lock:
+            cached = _struct_cache.get(key)
+            if cached is None:
+                cached = StructType(field_tuple)
+                _struct_cache[key] = cached
     return cached
 
 
@@ -359,8 +375,11 @@ def function(return_type: Type, params: Iterable[Type], is_vararg: bool = False)
     key = (id(return_type), tuple(id(p) for p in param_tuple), is_vararg)
     cached = _function_cache.get(key)
     if cached is None:
-        cached = FunctionType(return_type, param_tuple, is_vararg)
-        _function_cache[key] = cached
+        with _intern_lock:
+            cached = _function_cache.get(key)
+            if cached is None:
+                cached = FunctionType(return_type, param_tuple, is_vararg)
+                _function_cache[key] = cached
     return cached
 
 

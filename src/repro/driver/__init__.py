@@ -1,13 +1,15 @@
 """Compilation drivers: the standard pass pipelines and the end-to-end
 compile/link/execute flows of paper Figure 4."""
 
+from .cache import BytecodeCache, toolchain_fingerprint
 from .pipelines import (
-    analyze_module, compile_and_link, link_time_optimize, optimize_module,
-    standard_pipeline,
+    analyze_module, compile_and_link, compile_translation_units,
+    link_time_optimize, optimize_module, standard_pipeline,
 )
 from .lifelong import LifelongSession
 
 __all__ = [
-    "analyze_module", "compile_and_link", "link_time_optimize",
-    "optimize_module", "standard_pipeline", "LifelongSession",
+    "BytecodeCache", "analyze_module", "compile_and_link",
+    "compile_translation_units", "link_time_optimize", "optimize_module",
+    "standard_pipeline", "toolchain_fingerprint", "LifelongSession",
 ]

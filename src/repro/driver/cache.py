@@ -1,0 +1,191 @@
+"""Content-addressed bytecode cache: the incremental compilation layer.
+
+The paper's lifelong model (Figure 4) keeps the IR alive between
+compiler invocations precisely so later stages can *skip work that is
+already done*.  This module applies that idea to the front of the
+pipeline: per-translation-unit bytecode, produced after per-module
+optimization, is stored under a SHA-256 key of
+
+    (toolchain fingerprint, optimization level, source text)
+
+so an unchanged TU costs one hash plus one bytecode deserialization
+instead of a front-end run plus the whole -O pipeline.  This is sound
+only because of two representation-equivalence guarantees:
+
+* :func:`repro.bitcode.write_bytecode` is deterministic — equal modules
+  serialize to equal bytes, so cache artifacts are stable; and
+* the bytecode round-trip is lossless (including ``Instruction.loc``),
+  so a module coming out of the cache is indistinguishable from the
+  freshly compiled one — lint diagnostics, link results and native code
+  are byte-for-byte the same.
+
+Entries live one-per-file under a cache directory (``<key>.bc``), or in
+memory when no directory is given.  Writes go through a temp file +
+``os.replace`` so concurrent compilers never observe torn entries, and
+a corrupted entry (truncated file, bad magic, stale version) is evicted
+and recompiled rather than crashing the build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from typing import Optional
+
+from ..bitcode import read_bytecode, write_bytecode
+from ..bitcode.writer import VERSION as BYTECODE_VERSION
+from ..core.module import Module
+
+#: Bump when the standard pipelines change in a way that alters the IR
+#: they produce; it participates in every cache key, so old entries are
+#: automatically ignored (and eventually evicted) after an upgrade.
+PIPELINE_VERSION = 1
+
+
+def toolchain_fingerprint() -> str:
+    """The version component of every cache key."""
+    return f"lc-bc{BYTECODE_VERSION}-pipe{PIPELINE_VERSION}"
+
+
+class BytecodeCache:
+    """Keyed storage of serialized modules, with hit/miss accounting.
+
+    ``directory=None`` keeps entries in memory (useful for tests and
+    single-process batch runs); otherwise entries persist on disk and
+    are shared between compiler processes.  The counter names mirror
+    pass statistics so the cache plugs into the same ``-stats``
+    reporting (see :meth:`statistics`).
+    """
+
+    name = "bytecode-cache"
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._memory: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # -- keys ---------------------------------------------------------------
+
+    def key(self, source: str, level: int, tag: str = "tu") -> str:
+        """Content-addressed key for one compilation.
+
+        ``tag`` separates key spaces that share source text — per-TU
+        entries (``"tu"``) vs whole-program entries (``"program"``,
+        used by the lifelong session).
+        """
+        digest = hashlib.sha256()
+        digest.update(toolchain_fingerprint().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(f"{tag}:{level}".encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- raw bytes ----------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.bc")
+
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        """The stored artifact, or None (counted as a miss)."""
+        if self.directory is None:
+            data = self._memory.get(key)
+        else:
+            try:
+                with open(self._path(key), "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                data = None
+        with self._lock:
+            if data is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return data
+
+    def store_bytes(self, key: str, data: bytes) -> None:
+        """Store an artifact atomically (last writer wins)."""
+        if self.directory is None:
+            self._memory[key] = data
+        else:
+            fd, temp_path = tempfile.mkstemp(dir=self.directory,
+                                             suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(temp_path, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        with self._lock:
+            self.stores += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (used by the reoptimizer when it rewrites the
+        IR an entry was derived from); True if an entry existed."""
+        if self.directory is None:
+            existed = self._memory.pop(key, None) is not None
+        else:
+            try:
+                os.unlink(self._path(key))
+                existed = True
+            except OSError:
+                existed = False
+        if existed:
+            with self._lock:
+                self.evictions += 1
+        return existed
+
+    # -- modules ------------------------------------------------------------
+
+    def load(self, key: str) -> Optional[Module]:
+        """Deserialize a cached module; a corrupted entry is evicted and
+        reported as a miss, so callers simply recompile."""
+        data = self.load_bytes(key)
+        if data is None:
+            return None
+        try:
+            return read_bytecode(data)
+        except Exception:
+            with self._lock:
+                # The load_bytes hit was illusory: reclassify it.
+                self.hits -= 1
+                self.misses += 1
+            self.invalidate(key)
+            return None
+
+    def store(self, key: str, module: Module) -> bytes:
+        """Serialize and store a module; returns the bytes (names kept,
+        so cached modules lint identically to fresh ones)."""
+        data = write_bytecode(module, strip_names=False)
+        self.store_bytes(key, data)
+        return data
+
+    # -- observability ------------------------------------------------------
+
+    def statistics(self) -> dict[str, int]:
+        """Counters in the shape the ``-stats`` machinery expects."""
+        with self._lock:
+            return {
+                "cache-hits": self.hits,
+                "cache-misses": self.misses,
+                "cache-stores": self.stores,
+                "cache-evictions": self.evictions,
+            }
+
+    def __len__(self) -> int:
+        if self.directory is None:
+            return len(self._memory)
+        return sum(1 for entry in os.listdir(self.directory)
+                   if entry.endswith(".bc"))

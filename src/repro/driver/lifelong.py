@@ -25,6 +25,7 @@ from ..profile import (
     Granularity, OfflineReoptimizer, ProfileData, ProfileInstrumentation,
     ReoptimizationReport,
 )
+from .cache import BytecodeCache
 from .pipelines import compile_and_link
 
 
@@ -39,10 +40,21 @@ class LifelongSession:
     """Owns one program through compile, run, profile, reoptimize cycles."""
 
     def __init__(self, sources: Sequence[str], name: str = "program",
-                 level: int = 2):
-        self.module = compile_and_link(sources, name, level)
+                 level: int = 2, cache: Optional[BytecodeCache] = None,
+                 jobs: int = 1):
+        self.cache = cache
+        #: Whole-program cache key (per-TU keys live inside
+        #: compile_and_link; this one names the *linked* artifact).
+        self._program_key = (
+            cache.key("\0".join(sources) + "\0" + name, level, tag="program")
+            if cache is not None else None
+        )
+        self.module = compile_and_link(sources, name, level,
+                                       cache=cache, jobs=jobs)
         #: The persistent representation shipped with the executable.
         self.bytecode = write_bytecode(self.module)
+        if cache is not None:
+            cache.store_bytes(self._program_key, self.bytecode)
         instrumentation = ProfileInstrumentation(Granularity.BLOCKS)
         instrumentation.run_on_module(self.module)
         self.profile = ProfileData(instrumentation.profile_map)
@@ -67,8 +79,16 @@ class LifelongSession:
         return RunResult(exit_value, "".join(interp.output), interp.steps)
 
     def reoptimize(self, **kwargs) -> ReoptimizationReport:
-        """The idle-time pass: consume the accumulated profile."""
+        """The idle-time pass: consume the accumulated profile.
+
+        The rewritten IR supersedes the cached whole-program artifact,
+        so that entry is invalidated and re-stored; per-TU entries stay
+        valid — the sources they were keyed on have not changed.
+        """
         report = OfflineReoptimizer(**kwargs).run(self.module, self.profile)
         self.reopt_reports.append(report)
         self.bytecode = write_bytecode(self.module)
+        if self.cache is not None:
+            self.cache.invalidate(self._program_key)
+            self.cache.store_bytes(self._program_key, self.bytecode)
         return report

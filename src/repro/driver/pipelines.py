@@ -8,11 +8,13 @@ optimization at link time (section 3.3).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence
 
 from ..core.module import Module
 from ..frontend import compile_source
 from ..linker import link_modules
+from .cache import BytecodeCache
 from ..transforms import (
     AggressiveDCE, ConstantPropagation, DeadCodeElimination, GVN,
     InstCombine, LICM, PassManager, PromoteMem2Reg, Reassociate, SCCP,
@@ -104,9 +106,60 @@ def analyze_module(module: Module, checks: Optional[Sequence[str]] = None):
     return diagnostics
 
 
+def _compile_translation_unit(source: str, tu_name: str, level: int,
+                              verify_each: bool,
+                              cache: Optional[BytecodeCache]) -> Module:
+    """One TU through front-end + per-module optimization, or the cache.
+
+    A hit deserializes the stored bytecode instead of running the
+    front-end and the -O pipeline; the module name is restamped because
+    it encodes the TU's *position* in this batch, which is not part of
+    the content-addressed key.
+    """
+    if cache is not None:
+        key = cache.key(source, level)
+        module = cache.load(key)
+        if module is not None:
+            module.name = tu_name
+            return module
+    module = compile_source(source, tu_name)
+    optimize_module(module, level, verify_each)
+    if cache is not None:
+        cache.store(key, module)
+    return module
+
+
+def compile_translation_units(sources: Sequence[str], name: str = "program",
+                              level: int = 2, verify_each: bool = False,
+                              cache: Optional[BytecodeCache] = None,
+                              jobs: int = 1) -> list[Module]:
+    """The batch front of the driver: every TU to optimized IR.
+
+    Translation units are independent until link time, so with
+    ``jobs > 1`` they compile concurrently; results are always returned
+    in input order, keeping the link order — and therefore the linked
+    module and its bytecode — deterministic regardless of ``jobs``.
+    """
+    sources = list(sources)
+    if jobs > 1 and len(sources) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as executor:
+            return list(executor.map(
+                lambda item: _compile_translation_unit(
+                    item[1], f"{name}.tu{item[0]}", level, verify_each, cache),
+                enumerate(sources),
+            ))
+    return [
+        _compile_translation_unit(source, f"{name}.tu{index}", level,
+                                  verify_each, cache)
+        for index, source in enumerate(sources)
+    ]
+
+
 def compile_and_link(sources: Iterable[str], name: str = "program",
                      level: int = 2, lto: bool = True,
-                     verify_each: bool = False, analyze: bool = False) -> Module:
+                     verify_each: bool = False, analyze: bool = False,
+                     cache: Optional[BytecodeCache] = None,
+                     jobs: int = 1) -> Module:
     """Front-end + per-module optimization + link (+ link-time IPO).
 
     ``sources`` are LC translation units.  This is the paper's Figure 4
@@ -115,12 +168,15 @@ def compile_and_link(sources: Iterable[str], name: str = "program",
     ``analyze=True`` the post-link module is additionally run through
     the static checker suite (see :func:`analyze_module`); findings
     land on ``module.diagnostics``.
+
+    ``cache`` makes the front of the pipeline incremental: unchanged
+    TUs (by content hash) skip the front-end and per-module optimizer
+    and are deserialized from stored bytecode instead.  ``jobs`` sets
+    the number of concurrent TU compilations; both are output-invariant
+    — the linked module is identical with or without them.
     """
-    modules = []
-    for index, source in enumerate(sources):
-        module = compile_source(source, f"{name}.tu{index}")
-        optimize_module(module, level, verify_each)
-        modules.append(module)
+    modules = compile_translation_units(sources, name, level, verify_each,
+                                        cache, jobs)
     linked = link_modules(modules, name)
     if lto:
         link_time_optimize(linked, level, verify_each=verify_each)

@@ -24,7 +24,9 @@ from .backend import SPARC, X86, compile_for_size, print_machine_function
 from .bitcode import read_bytecode, write_bytecode
 from .core import parse_module, print_module, verify_module
 from .core.module import Module
-from .driver import compile_and_link, link_time_optimize, optimize_module
+from .driver import (
+    BytecodeCache, compile_and_link, link_time_optimize, optimize_module,
+)
 from .execution import Interpreter
 from .frontend import compile_source
 from .linker import link_modules
@@ -79,14 +81,26 @@ def lc_cc(argv=None) -> int:
                         help="run link-time interprocedural optimization")
     parser.add_argument("-c", action="store_true", dest="binary",
                         help="emit bytecode instead of textual IR")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed bytecode cache directory; "
+                             "unchanged translation units skip the "
+                             "front-end and optimizer")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="compile translation units with N threads")
+    parser.add_argument("-stats", action="store_true", dest="stats",
+                        help="print cache hit/miss statistics to stderr")
     args = parser.parse_args(argv)
     sources = [_read_text(path) for path in args.sources]
-    if len(sources) == 1 and not args.lto:
+    cache = BytecodeCache(args.cache_dir) if args.cache_dir else None
+    if len(sources) == 1 and not args.lto and cache is None:
         module = compile_source(sources[0], "module")
         optimize_module(module, args.level)
     else:
-        module = compile_and_link(sources, "program", args.level, args.lto)
+        module = compile_and_link(sources, "program", args.level, args.lto,
+                                  cache=cache, jobs=args.jobs)
     verify_module(module)
+    if args.stats and cache is not None:
+        _print_stats({cache.name: cache.statistics()})
     _write_module(module, args.o, args.binary)
     return 0
 
@@ -175,6 +189,9 @@ def lc_opt(argv=None) -> int:
                         help="run the IR verifier after every pass")
     parser.add_argument("-stats", action="store_true", dest="stats",
                         help="print per-pass statistics to stderr")
+    parser.add_argument("-time-passes", action="store_true",
+                        dest="time_passes",
+                        help="print per-pass wall-clock timings to stderr")
     args = parser.parse_args(argv)
     module = _read_module(args.input)
     managers = []
@@ -203,15 +220,22 @@ def lc_opt(argv=None) -> int:
                 print(diag.render(args.input), file=sys.stderr)
     if args.stats:
         for manager in managers:
-            _print_stats(manager)
+            _print_stats(manager.statistics())
+    if args.time_passes:
+        for manager in managers:
+            report = manager.timings.report()
+            if report:
+                print("===" + "-" * 18 + " pass timings " + "-" * 18 + "===",
+                      file=sys.stderr)
+                print(report, file=sys.stderr)
     _write_module(module, args.o, args.binary)
     return 0
 
 
-def _print_stats(manager) -> None:
-    """LLVM `-stats` style report: one line per (pass, counter)."""
+def _print_stats(stats_by_name: dict) -> None:
+    """LLVM `-stats` style report: one line per (source, counter)."""
     lines = []
-    for name, counters in manager.statistics().items():
+    for name, counters in stats_by_name.items():
         for counter, value in sorted(counters.items()):
             lines.append(f"{value:8d} {name:<18s} {counter}")
     if lines:

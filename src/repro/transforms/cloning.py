@@ -110,12 +110,17 @@ def clone_body(source_blocks: list[BasicBlock], target_function: Function,
         value_map[id(source)] = block
         cloned_blocks.append(block)
     # Pass 1: typed placeholders for every result, so uses that precede
-    # their definition in block-layout order resolve.
+    # their definition in block-layout order resolve.  Placeholder types
+    # must already live in the *target* type space: constructors type-
+    # check their operands, and a placeholder carrying the source
+    # module's named-struct identity would fail against operands whose
+    # types were translated by ``map_type``.
     placeholders: list[tuple[Instruction, Value]] = []
     for source in source_blocks:
         for inst in source.instructions:
             if not inst.type.is_void and id(inst) not in value_map:
-                placeholder = Value(inst.type, inst.name)
+                result_type = inst.type if map_type is None else map_type(inst.type)
+                placeholder = Value(result_type, inst.name)
                 value_map[id(inst)] = placeholder
                 placeholders.append((inst, placeholder))
     # Pass 2: clone instructions (operands resolve to clones made so

@@ -179,3 +179,73 @@ int main() {
     def test_deterministic_output(self):
         module = compile_source("int main() { return 3; }", "det")
         assert write_bytecode(module) == write_bytecode(module)
+
+
+def _locs(module):
+    return [
+        (fn.name, bi, ii, inst.loc)
+        for fn in module.functions.values()
+        for bi, block in enumerate(fn.blocks)
+        for ii, inst in enumerate(block.instructions)
+    ]
+
+
+class TestLocAndVersioning:
+    SOURCE = """
+int square(int x) { return x * x; }
+int main() {
+  int a = square(5);
+  if (a > 20) { a = a - 3; }
+  return a;
+}
+"""
+
+    def test_locs_survive_bytecode_round_trip(self):
+        module = compile_source(self.SOURCE, "located")
+        locs = _locs(module)
+        assert any(loc is not None for *_ignored, loc in locs)
+        decoded = read_bytecode(write_bytecode(module, strip_names=False))
+        assert _locs(decoded) == locs
+
+    def test_locs_survive_stripped_round_trip(self):
+        """Name stripping drops symbols, never debug locations."""
+        module = compile_source(self.SOURCE, "located")
+        decoded = read_bytecode(write_bytecode(module, strip_names=True))
+        assert [loc for *_ignored, loc in _locs(decoded)] == \
+            [loc for *_ignored, loc in _locs(module)]
+
+    def test_version1_bytecode_still_reads(self):
+        """Pre-loc bytecode (version 1) must stay readable; locs absent."""
+        module = compile_source(self.SOURCE, "old")
+        writer = BytecodeWriter(strip_names=False, version=1)
+        data = writer.write(module)
+        assert data[4] == 1
+        decoded = read_bytecode(data)
+        verify_module(decoded)
+        assert all(loc is None for *_ignored, loc in _locs(decoded))
+        assert Interpreter(decoded).run("main") == \
+            Interpreter(module).run("main")
+
+    def test_unsupported_writer_version_rejected(self):
+        with pytest.raises(ValueError):
+            BytecodeWriter(version=0)
+        with pytest.raises(ValueError):
+            BytecodeWriter(version=99)
+
+    def test_compile_twice_bytes_identical(self):
+        """Full determinism: two independent compiles of the same source
+        serialize to the same bytes (the incremental cache's contract)."""
+        from repro.driver import optimize_module
+
+        first = compile_source(self.SOURCE, "det")
+        second = compile_source(self.SOURCE, "det")
+        optimize_module(first, 2)
+        optimize_module(second, 2)
+        assert write_bytecode(first, strip_names=False) == \
+            write_bytecode(second, strip_names=False)
+
+    def test_write_twice_bytes_identical(self):
+        module = compile_source(self.SOURCE, "det")
+        writer_a = BytecodeWriter(strip_names=False)
+        writer_b = BytecodeWriter(strip_names=False)
+        assert writer_a.write(module) == writer_b.write(module)

@@ -261,3 +261,87 @@ entry:
         again = parse_module(text)
         verify_module(again)
         assert print_module(again) == text
+
+
+def _locs(module):
+    return [
+        (fn.name, bi, ii, inst.loc)
+        for fn in module.functions.values()
+        for bi, block in enumerate(fn.blocks)
+        for ii, inst in enumerate(block.instructions)
+    ]
+
+
+class TestLocMetadata:
+    def test_loc_prints_and_parses(self):
+        module = parse_module("""
+int %f(int %x) {
+entry:
+  %a = add int %x, 1 !loc 3
+  %b = mul int %a, %a !loc 4
+  ret int %b !loc 5
+}
+""")
+        fn = module.functions["f"]
+        assert [i.loc for i in fn.entry_block.instructions] == [3, 4, 5]
+        text = print_module(module)
+        assert "!loc 3" in text and "!loc 5" in text
+        assert _locs(parse_module(text)) == _locs(module)
+
+    def test_unlocated_instructions_print_without_suffix(self):
+        module = parse_module("""
+int %f() {
+entry:
+  %a = add int 1, 2
+  ret int %a !loc 9
+}
+""")
+        text = print_module(module)
+        lines = [l for l in text.splitlines() if "add" in l]
+        assert lines and "!loc" not in lines[0]
+        again = parse_module(text)
+        assert _locs(again) == _locs(module)
+
+    def test_loc_on_void_instructions(self):
+        """Stores/branches have no result name; the suffix still applies."""
+        module = parse_module("""
+void %f(int* %p) {
+entry:
+  store int 1, int* %p !loc 7
+  br label %exit !loc 7
+exit:
+  ret void !loc 8
+}
+""")
+        verify_module(module)
+        assert _locs(parse_module(print_module(module))) == _locs(module)
+
+    def test_frontend_locs_survive_text_round_trip(self):
+        from repro.frontend import compile_source
+
+        module = compile_source("""
+int main() {
+  int x = 4;
+  int y = x * 10;
+  return y + 2;
+}
+""", "located")
+        locs = _locs(module)
+        assert any(loc is not None for *_ignored, loc in locs)
+        assert _locs(parse_module(print_module(module))) == locs
+
+    def test_bad_loc_metadata_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("""
+int %f() {
+entry:
+  ret int 0 !loc
+}
+""")
+        with pytest.raises(ParseError):
+            parse_module("""
+int %f() {
+entry:
+  ret int 0 !line 3
+}
+""")

@@ -206,3 +206,61 @@ def test_backend_selection_total(tree, raw_args):
         image = compile_for_size(module, target)
         assert image.code_size > 0
     assert print_module(module) == before
+
+
+def _stamp_locs(module: Module) -> list:
+    """Give every third instruction a synthetic source line and return the
+    full per-instruction loc layout (None included) for comparison."""
+    locs = []
+    counter = 0
+    for fn in module.functions.values():
+        for bi, block in enumerate(fn.blocks):
+            for ii, inst in enumerate(block.instructions):
+                if counter % 3 == 0:
+                    inst.loc = counter + 1
+                locs.append((fn.name, bi, ii, inst.loc))
+                counter += 1
+    return locs
+
+
+def _locs(module: Module) -> list:
+    return [
+        (fn.name, bi, ii, inst.loc)
+        for fn in module.functions.values()
+        for bi, block in enumerate(fn.blocks)
+        for ii, inst in enumerate(block.instructions)
+    ]
+
+
+@given(expressions())
+@settings(max_examples=40, deadline=None)
+def test_three_representation_loc_round_trip(tree):
+    """Module -> text -> parse -> bytecode -> read -> text: debug
+    locations and the printed form are identical at every hop."""
+    module = build_ir(tree)
+    locs = _stamp_locs(module)
+    text = print_module(module)
+
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    assert _locs(reparsed) == locs
+    assert print_module(reparsed) == text
+
+    decoded = read_bytecode(write_bytecode(reparsed, strip_names=False))
+    verify_module(decoded)
+    assert _locs(decoded) == locs
+    assert print_module(decoded) == text
+
+
+@given(expressions())
+@settings(max_examples=20, deadline=None)
+def test_lint_diagnostics_stable_across_representations(tree):
+    """The checker suite sees reloaded modules exactly as fresh ones."""
+    from repro.sanalysis import run_checkers
+
+    module = build_ir(tree)
+    expected = [d.render("m") for d in run_checkers(module)]
+    reparsed = parse_module(print_module(module))
+    decoded = read_bytecode(write_bytecode(module, strip_names=False))
+    assert [d.render("m") for d in run_checkers(reparsed)] == expected
+    assert [d.render("m") for d in run_checkers(decoded)] == expected
