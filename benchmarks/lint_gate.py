@@ -1,0 +1,73 @@
+"""CI lint gate: the whole program suite must be clean at -O2.
+
+Runs ``lc-lint --whole-program -Werror`` over every benchsuite program
+and over the multi-TU example programs under ``examples/lc/``.  The
+gate enforces the suite's zero-false-positive contract: benchmark and
+example programs are correct, so any error or warning the
+interprocedural checkers report against them is a regression in the
+analysis, not in the programs.  NOTE-level advisories (e.g. unproven
+variable-index bounds) are informational and do not fail the gate.
+
+Exits nonzero on the first offending program.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.tools import lc_lint  # noqa: E402
+
+LEVEL = "2"
+
+
+def gate(label: str, inputs: list[str]) -> bool:
+    argv = inputs + ["--whole-program", "-Werror", "-O", LEVEL, "-q"]
+    status = lc_lint(argv)
+    print(f"lint-gate: {label}: "
+          f"{'clean' if status == 0 else f'FAILED (exit {status})'}")
+    return status == 0
+
+
+def main() -> int:
+    programs_dir = os.path.join(REPO, "src", "repro", "benchsuite",
+                                "programs")
+    failures = 0
+    for entry in sorted(os.listdir(programs_dir)):
+        if not entry.endswith(".lc"):
+            continue
+        if not gate(entry, [os.path.join(programs_dir, entry)]):
+            failures += 1
+
+    examples_dir = os.path.join(REPO, "examples", "lc")
+    if os.path.isdir(examples_dir):
+        # Each subdirectory is one multi-TU program; loose .lc files at
+        # the top level are single-TU programs.
+        loose = sorted(
+            os.path.join(examples_dir, entry)
+            for entry in os.listdir(examples_dir) if entry.endswith(".lc"))
+        for path in loose:
+            if not gate(os.path.relpath(path, REPO), [path]):
+                failures += 1
+        for entry in sorted(os.listdir(examples_dir)):
+            subdir = os.path.join(examples_dir, entry)
+            if not os.path.isdir(subdir):
+                continue
+            units = sorted(os.path.join(subdir, name)
+                           for name in os.listdir(subdir)
+                           if name.endswith(".lc"))
+            if units and not gate(f"examples/lc/{entry}", units):
+                failures += 1
+
+    if failures:
+        print(f"lint-gate: {failures} program(s) failed", file=sys.stderr)
+        return 1
+    print("lint-gate: all programs clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

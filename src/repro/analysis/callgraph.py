@@ -149,6 +149,67 @@ class CallGraph:
         return order
 
 
+def strongly_connected_components(edges: dict) -> list[list]:
+    """Tarjan's SCC over a name graph, callee-first (reverse topological).
+
+    ``edges`` maps a node to its successors; successors that are not
+    themselves keys (external/unknown targets) are ignored.  The output
+    order is the natural schedule for bottom-up interprocedural work:
+    by the time an SCC is processed, every callee SCC already was.
+    Iterative, so pathological call chains cannot blow the recursion
+    limit.
+    """
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    components: list[list] = []
+    counter = [0]
+
+    def strongconnect(root) -> None:
+        work = [(root, iter(edges.get(root, ())))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in edges:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is node or member == node:
+                        break
+                components.append(component)
+
+    for node in edges:
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
 def _direct_callee(callee) -> Optional[Function]:
     if isinstance(callee, Function):
         return callee

@@ -590,6 +590,26 @@ class DataStructureAnalysis:
 
     # -- alias-style queries used by Mod/Ref -------------------------------------
 
+    def node_of(self, value: Value) -> Optional[DSNode]:
+        """The abstract memory object ``value`` points at, or None for
+        values the analysis never saw.  Clients (e.g. the whole-program
+        leak checker) use the node's flags/``unknown`` bit to decide
+        whether an allocation could be reachable from outside the
+        function that made it."""
+        cell = self.cells.get(id(value))
+        if cell is None:
+            return None
+        return cell.node.find()
+
+    def heap_escapes(self, value: Value) -> bool:
+        """True when the heap object ``value`` points at may be reachable
+        from a global or from outside the analysed program — i.e. when a
+        local ownership argument about it is unsound."""
+        node = self.node_of(value)
+        if node is None:
+            return False
+        return node.unknown or "G" in node.flags or "F" in node.flags
+
     def may_alias(self, a: Value, b: Value) -> bool:
         """Two pointers may alias when they land on the same node (and,
         for un-collapsed nodes, the same field)."""

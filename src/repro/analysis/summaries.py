@@ -156,28 +156,37 @@ class ModuleSummaries:
     def may_unwind(self, known_no_unwind: frozenset = frozenset()) -> dict[str, bool]:
         """Per-function may-unwind, from summaries alone (the input
         prune-eh needs).  Matches a direct body scan."""
+        from .callgraph import strongly_connected_components
+
         result: dict[str, bool] = {}
         for name, summary in self.summaries.items():
             if summary.is_declaration:
                 result[name] = name not in known_no_unwind
             else:
                 result[name] = summary.unwinds_locally
-        changed = True
-        while changed:
-            changed = False
-            for name, summary in self.summaries.items():
-                if summary.is_declaration or result[name]:
-                    continue
-                if summary.has_indirect_calls:
-                    escalate = True
-                else:
-                    escalate = any(
-                        result.get(callee, True)
-                        for callee in summary.direct_callees
-                    )
-                if escalate:
-                    result[name] = True
-                    changed = True
+        # Bottom-up over the SCC condensation: callees settle before
+        # callers, so each SCC needs at most |SCC| local sweeps instead
+        # of iterating the whole program to a global fixpoint.
+        edges = {name: summary.direct_callees
+                 for name, summary in self.summaries.items()}
+        for component in strongly_connected_components(edges):
+            changed = True
+            while changed:
+                changed = False
+                for name in component:
+                    summary = self.summaries[name]
+                    if summary.is_declaration or result[name]:
+                        continue
+                    if summary.has_indirect_calls:
+                        escalate = True
+                    else:
+                        escalate = any(
+                            result.get(callee, True)
+                            for callee in summary.direct_callees
+                        )
+                    if escalate:
+                        result[name] = True
+                        changed = True
         return result
 
     def _all_callees(self, summary: FunctionSummary) -> list[str]:

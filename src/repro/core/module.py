@@ -108,7 +108,7 @@ class Function(GlobalValue):
     be called, stored in vtables, or passed around like any constant.
     """
 
-    __slots__ = ("args", "blocks", "is_pure", "_next_anon")
+    __slots__ = ("args", "blocks", "is_pure", "source_module", "_next_anon")
 
     def __init__(self, fn_type: types.FunctionType, name: str,
                  linkage: str = Linkage.EXTERNAL,
@@ -118,6 +118,10 @@ class Function(GlobalValue):
         self.blocks: list[BasicBlock] = []
         #: Marked by front-ends/analyses for calls safe to delete if unused.
         self.is_pure = False
+        #: Name of the translation unit that defined this function; the
+        #: linker preserves it across merging so whole-program
+        #: diagnostics can point at the original file.
+        self.source_module: Optional[str] = None
         self._next_anon = 0
         for index, param_ty in enumerate(fn_type.params):
             arg_name = arg_names[index] if arg_names else f"arg{index}"

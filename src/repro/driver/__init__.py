@@ -4,12 +4,14 @@ compile/link/execute flows of paper Figure 4."""
 from .cache import BytecodeCache, toolchain_fingerprint
 from .pipelines import (
     analyze_module, compile_and_link, compile_translation_units,
-    link_time_optimize, optimize_module, standard_pipeline,
+    link_time_optimize, lint_whole_program, optimize_module,
+    standard_pipeline,
 )
 from .lifelong import LifelongSession
 
 __all__ = [
     "BytecodeCache", "analyze_module", "compile_and_link",
-    "compile_translation_units", "link_time_optimize", "optimize_module",
-    "standard_pipeline", "toolchain_fingerprint", "LifelongSession",
+    "compile_translation_units", "link_time_optimize",
+    "lint_whole_program", "optimize_module", "standard_pipeline",
+    "toolchain_fingerprint", "LifelongSession",
 ]

@@ -66,11 +66,15 @@ class BytecodeCache:
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
         self._memory: dict[str, bytes] = {}
+        self._memory_text: dict[str, str] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.summary_hits = 0
+        self.summary_misses = 0
+        self.summary_stores = 0
 
     # -- keys ---------------------------------------------------------------
 
@@ -147,6 +151,50 @@ class BytecodeCache:
                 self.evictions += 1
         return existed
 
+    # -- sidecar text artifacts ---------------------------------------------
+
+    def _text_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load_text(self, key: str) -> Optional[str]:
+        """A sidecar artifact stored next to the bytecode (``<key>.json``)
+        — analysis summaries attached per the paper's section 3.3."""
+        if self.directory is None:
+            text = self._memory_text.get(key)
+        else:
+            try:
+                with open(self._text_path(key), "r",
+                          encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError:
+                text = None
+        with self._lock:
+            if text is None:
+                self.summary_misses += 1
+            else:
+                self.summary_hits += 1
+        return text
+
+    def store_text(self, key: str, text: str) -> None:
+        """Store a sidecar artifact atomically (last writer wins)."""
+        if self.directory is None:
+            self._memory_text[key] = text
+        else:
+            fd, temp_path = tempfile.mkstemp(dir=self.directory,
+                                             suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(temp_path, self._text_path(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        with self._lock:
+            self.summary_stores += 1
+
     # -- modules ------------------------------------------------------------
 
     def load(self, key: str) -> Optional[Module]:
@@ -182,6 +230,9 @@ class BytecodeCache:
                 "cache-misses": self.misses,
                 "cache-stores": self.stores,
                 "cache-evictions": self.evictions,
+                "summary-hits": self.summary_hits,
+                "summary-misses": self.summary_misses,
+                "summary-stores": self.summary_stores,
             }
 
     def __len__(self) -> int:

@@ -43,6 +43,10 @@ class LifelongSession:
                  level: int = 2, cache: Optional[BytecodeCache] = None,
                  jobs: int = 1):
         self.cache = cache
+        self._sources = list(sources)
+        self._name = name
+        self._level = level
+        self._jobs = jobs
         #: Whole-program cache key (per-TU keys live inside
         #: compile_and_link; this one names the *linked* artifact).
         self._program_key = (
@@ -77,6 +81,21 @@ class LifelongSession:
                                               lambda i, a: None})
         exit_value = interp.run(function, args)
         return RunResult(exit_value, "".join(interp.output), interp.steps)
+
+    def lint(self, checks: Optional[Sequence[str]] = None):
+        """Whole-program lint over the session's sources (lint-wp).
+
+        Rides the same bytecode cache as compilation: analysis
+        summaries persist next to the per-TU bytecode, so repeated
+        lints of an unchanged program summarize nothing and only rerun
+        the composition + checking sweep.  Returns a
+        :class:`repro.sanalysis.WholeProgramResult`.
+        """
+        from .pipelines import lint_whole_program
+
+        return lint_whole_program(self._sources, name=self._name,
+                                  level=self._level, checks=checks,
+                                  cache=self.cache, jobs=self._jobs)
 
     def reoptimize(self, **kwargs) -> ReoptimizationReport:
         """The idle-time pass: consume the accumulated profile.

@@ -106,6 +106,51 @@ def analyze_module(module: Module, checks: Optional[Sequence[str]] = None):
     return diagnostics
 
 
+def lint_whole_program(sources: Sequence[str],
+                       filenames: Optional[Sequence[str]] = None,
+                       name: str = "program", level: int = 2,
+                       checks: Optional[Sequence[str]] = None,
+                       cache: Optional[BytecodeCache] = None,
+                       jobs: int = 1):
+    """The ``lint-wp`` stage: interprocedural lint across all TUs.
+
+    Compiles every translation unit (through the bytecode cache when
+    one is given), then runs the summary-based whole-program checkers
+    (:func:`repro.sanalysis.run_whole_program`).  Per-function analysis
+    summaries are serialized next to the cached bytecode under the same
+    content hash, so a warm run recomputes summaries only for changed
+    TUs and re-runs just the cheap composition + checking sweep —
+    diagnostics are byte-identical either way.
+
+    Returns a :class:`repro.sanalysis.WholeProgramResult`.
+    """
+    from ..sanalysis import run_whole_program
+    from ..sanalysis.interproc import ModuleAnalysisSummaries
+
+    sources = list(sources)
+    if filenames is None:
+        filenames = [f"{name}.tu{index}" for index in range(len(sources))]
+    modules = compile_translation_units(sources, name, level, False,
+                                        cache, jobs)
+    tables: list[Optional[ModuleAnalysisSummaries]] = [None] * len(sources)
+    keys: list[Optional[str]] = [None] * len(sources)
+    if cache is not None:
+        for index, source in enumerate(sources):
+            keys[index] = cache.key(source, level, tag="ipa-summary")
+            text = cache.load_text(keys[index])
+            if text is not None:
+                try:
+                    tables[index] = ModuleAnalysisSummaries.from_json(text)
+                except (ValueError, KeyError):
+                    tables[index] = None  # stale format: recompute
+    result = run_whole_program(list(zip(filenames, modules)), checks,
+                               tables=tables)
+    if cache is not None:
+        for scope in result.computed_scopes:
+            cache.store_text(keys[scope], result.tables[scope].to_json())
+    return result
+
+
 def _compile_translation_unit(source: str, tu_name: str, level: int,
                               verify_each: bool,
                               cache: Optional[BytecodeCache]) -> Module:
@@ -167,7 +212,9 @@ def compile_and_link(sources: Iterable[str], name: str = "program",
     interprocedural optimizer runs over the whole program.  With
     ``analyze=True`` the post-link module is additionally run through
     the static checker suite (see :func:`analyze_module`); findings
-    land on ``module.diagnostics``.
+    land on ``module.diagnostics``.  ``analyze="whole-program"`` runs
+    the summary-based interprocedural suite instead (see
+    :func:`lint_whole_program`).
 
     ``cache`` makes the front of the pipeline incremental: unchanged
     TUs (by content hash) skip the front-end and per-module optimizer
@@ -175,11 +222,18 @@ def compile_and_link(sources: Iterable[str], name: str = "program",
     the number of concurrent TU compilations; both are output-invariant
     — the linked module is identical with or without them.
     """
+    sources = list(sources)
     modules = compile_translation_units(sources, name, level, verify_each,
                                         cache, jobs)
     linked = link_modules(modules, name)
     if lto:
         link_time_optimize(linked, level, verify_each=verify_each)
-    if analyze:
+    if analyze == "whole-program":
+        # lint-wp: the summary-based interprocedural suite over the
+        # pre-link TUs (per-file attribution), attached to the program.
+        result = lint_whole_program(sources, name=name, level=level,
+                                    cache=cache)
+        linked.diagnostics = result.diagnostics
+    elif analyze:
         analyze_module(linked)
     return linked

@@ -94,7 +94,12 @@ class _Linker:
         for global_var in module.globals.values():
             value_map[id(global_var)] = self._merge_global(global_var)
         for function in module.functions.values():
-            value_map[id(function)] = self._merge_function(function)
+            merged = self._merge_function(function)
+            if not function.is_declaration and not merged.blocks:
+                # Whichever unit supplies the body supplies the
+                # provenance whole-program diagnostics report.
+                merged.source_module = function.source_module or module.name
+            value_map[id(function)] = merged
         # Pass 2: copy initializers and bodies through the value map.
         for global_var in module.globals.values():
             target: GlobalVariable = value_map[id(global_var)]  # type: ignore[assignment]

@@ -26,7 +26,7 @@ from .dataflow import (
     BACKWARD, DenseAnalysis, DenseResult, FORWARD, SparseAnalysis,
     SparseResult, solve_dense, solve_sparse,
 )
-from .diagnostics import Diagnostic, Reporter, Severity
+from .diagnostics import Diagnostic, Reporter, Severity, dedupe, stable_order
 
 
 def run_checkers(module: Module, checks: Optional[Iterable[str]] = None,
@@ -67,6 +67,93 @@ def _promoted_view(module: Module) -> Module:
     for function in list(clone.defined_functions()):
         promote.run_on_function(function)
     return clone
+
+
+class WholeProgramResult:
+    """Everything the whole-program lint sweep produced."""
+
+    def __init__(self, diagnostics, program, tables, computed_scopes):
+        #: Deduplicated diagnostics in (file, line, checker) order.
+        self.diagnostics = diagnostics
+        #: The composed :class:`~repro.sanalysis.interproc.ProgramSummaries`.
+        self.program = program
+        #: Per-unit summary tables, parallel to the input units (cached
+        #: entries are passed through, fresh ones are newly computed).
+        self.tables = tables
+        #: Indices of units whose summaries were computed this run.
+        self.computed_scopes = computed_scopes
+
+    def statistics(self) -> dict:
+        stats = dict(self.program.statistics())
+        stats["ipa-summaries-computed"] = len(self.computed_scopes)
+        stats["ipa-summaries-cached"] = (
+            len(self.tables) - len(self.computed_scopes))
+        for diag in self.diagnostics:
+            stats[diag.checker] = stats.get(diag.checker, 0) + 1
+        stats["errors"] = sum(1 for d in self.diagnostics if d.is_error)
+        return stats
+
+
+def run_whole_program(units, checks: Optional[Iterable[str]] = None,
+                      reporter: Optional[Reporter] = None,
+                      tables=None) -> WholeProgramResult:
+    """Link-time lint: summarize, compose, and check across all units.
+
+    ``units`` is a sequence of ``(filename, module)`` translation units.
+    ``tables`` optionally supplies a parallel list of cached
+    :class:`~repro.sanalysis.interproc.ModuleAnalysisSummaries` (None
+    entries are computed fresh) — the driver's incremental path.
+    Checking always sweeps every unit; only summarization is skipped on
+    a cache hit, which is the paper's compile-time/link-time division.
+    """
+    from .interproc import ModuleAnalysisSummaries, ProgramSummaries
+    from .ipa_checkers import ALL_IPA_CHECKERS, IPA_CHECKERS
+
+    if reporter is None:
+        reporter = Reporter()
+    selected = []
+    for name in checks if checks is not None else IPA_CHECKERS:
+        factory = IPA_CHECKERS.get(name)
+        if factory is None:
+            known = ", ".join(sorted(IPA_CHECKERS))
+            raise ValueError(f"unknown checker {name!r} (known: {known})")
+        selected.append(factory)
+
+    units = list(units)
+    views = [(filename, _promoted_view(module))
+             for filename, module in units]
+    result_tables = []
+    computed_scopes = []
+    for scope, (filename, view) in enumerate(views):
+        cached = tables[scope] if tables is not None else None
+        if cached is not None:
+            result_tables.append(cached)
+        else:
+            result_tables.append(ModuleAnalysisSummaries.compute(view))
+            computed_scopes.append(scope)
+    program = ProgramSummaries(
+        [(filename, table)
+         for (filename, _), table in zip(units, result_tables)])
+
+    for scope, (filename, view) in enumerate(views):
+        before = len(reporter.diagnostics)
+        for factory in selected:
+            factory(program, scope).check_module(view, reporter)
+        for diag in reporter.diagnostics[before:]:
+            if diag.file is not None:
+                continue
+            # Inside an already-linked module, functions carry the name
+            # of the unit that defined them (stamped by the linker);
+            # prefer it over the merged module's own name.
+            origin = None
+            if diag.instruction is not None \
+                    and diag.instruction.function is not None:
+                origin = diag.instruction.function.source_module
+            diag.file = origin if origin and origin != view.name \
+                else filename
+    diagnostics = stable_order(dedupe(reporter.diagnostics))
+    return WholeProgramResult(diagnostics, program, result_tables,
+                              computed_scopes)
 
 
 def check_cross_module(modules: Sequence[Module],
@@ -117,6 +204,7 @@ class StaticCheckSuite:
 __all__ = [
     "ALL_CHECKERS", "BACKWARD", "CHECKERS", "DenseAnalysis", "DenseResult",
     "Diagnostic", "FORWARD", "Reporter", "Severity", "SparseAnalysis",
-    "SparseResult", "StaticCheckSuite", "check_cross_module", "run_checkers",
-    "solve_dense", "solve_sparse",
+    "SparseResult", "StaticCheckSuite", "WholeProgramResult",
+    "check_cross_module", "dedupe", "run_checkers", "run_whole_program",
+    "solve_dense", "solve_sparse", "stable_order",
 ]

@@ -30,12 +30,13 @@ class Diagnostic:
     """One finding: what is wrong, where, and how severe it is."""
 
     __slots__ = ("severity", "checker", "message", "function", "block",
-                 "instruction", "line", "fixit")
+                 "instruction", "line", "fixit", "file")
 
     def __init__(self, severity: Severity, checker: str, message: str,
                  function: Optional[str] = None, block: Optional[str] = None,
                  instruction: Optional[Instruction] = None,
-                 line: Optional[int] = None, fixit: Optional[str] = None):
+                 line: Optional[int] = None, fixit: Optional[str] = None,
+                 file: Optional[str] = None):
         self.severity = severity
         self.checker = checker
         self.message = message
@@ -48,6 +49,9 @@ class Diagnostic:
         self.line = line
         #: Optional human-readable suggested fix.
         self.fixit = fixit
+        #: Originating translation unit, when known (whole-program mode
+        #: stamps this; per-TU callers pass the filename to render()).
+        self.file = file
 
     @property
     def is_error(self) -> bool:
@@ -55,7 +59,8 @@ class Diagnostic:
 
     def render(self, filename: str = "<module>") -> str:
         """One-line clang-style rendering: ``file:line: sev: msg [checker]``."""
-        where = filename if self.line is None else f"{filename}:{self.line}"
+        name = self.file or filename
+        where = name if self.line is None else f"{name}:{self.line}"
         text = f"{where}: {self.severity}: {self.message} [{self.checker}]"
         context = []
         if self.function:
@@ -67,6 +72,19 @@ class Diagnostic:
         if self.fixit:
             text += f"\n{where}: note: fix-it: {self.fixit}"
         return text
+
+    def to_dict(self, filename: Optional[str] = None) -> dict:
+        """The machine-readable record behind ``lc-lint --format=json``."""
+        return {
+            "file": self.file or filename,
+            "line": self.line,
+            "checker": self.checker,
+            "severity": str(self.severity),
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "fixit": self.fixit,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Diagnostic {self.severity} [{self.checker}] {self.message!r}>"
@@ -114,3 +132,32 @@ class Reporter:
             key=lambda d: (d.function or "", d.line or 0, -int(d.severity),
                            d.checker, d.message),
         )
+
+
+def stable_order(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Multi-file ordering: (file, line, checker, …), independent of
+    checker scheduling and ``--jobs`` interleaving."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (d.file or "", d.line or 0, d.checker,
+                       -int(d.severity), d.message, d.function or "",
+                       d.block or ""),
+    )
+
+
+def dedupe(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Drop diagnostics identical in everything but originating file.
+
+    Linking clones a function defined in several translation units; its
+    findings would otherwise repeat once per copy.
+    """
+    seen = set()
+    unique: list[Diagnostic] = []
+    for diag in diagnostics:
+        key = (diag.checker, int(diag.severity), diag.message,
+               diag.function, diag.block, diag.line, diag.fixit)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(diag)
+    return unique

@@ -18,6 +18,7 @@ as console scripts; also callable as ``python -m repro.tools <tool>``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .backend import SPARC, X86, compile_for_size, print_machine_function
@@ -311,8 +312,13 @@ def _load_for_lint(path: str):
 
 
 def lc_lint(argv=None) -> int:
-    """Run the static checker suite; exit nonzero on errors."""
+    """Run the static checker suite.
+
+    Exit codes: 0 = no findings, 1 = findings (errors, or warnings
+    under ``-Werror``), 2 = usage or internal error.
+    """
     from .sanalysis import CHECKERS, check_cross_module, run_checkers
+    from .sanalysis.ipa_checkers import IPA_CHECKERS
 
     parser = argparse.ArgumentParser(
         prog="lc-lint",
@@ -321,15 +327,37 @@ def lc_lint(argv=None) -> int:
     parser.add_argument("inputs", nargs="*",
                         help="LC source (.lc), textual IR, or bytecode")
     parser.add_argument("--checks", default="",
-                        help=f"comma list from: {', '.join(sorted(CHECKERS))}")
+                        help=f"comma list from: {', '.join(sorted(CHECKERS))}"
+                        f" (whole-program adds: "
+                        f"{', '.join(sorted(IPA_CHECKERS))})")
     parser.add_argument("--list-checks", action="store_true",
                         help="print the checker catalogue and exit")
     parser.add_argument("-O", type=int, default=0, dest="level",
                         help="optimize before linting (0 = lint raw IR)")
     parser.add_argument("--lto", action="store_true",
-                        help="link all inputs and lint the whole program")
-    parser.add_argument("--Werror", action="store_true", dest="werror",
+                        help="link all inputs and lint the merged program")
+    parser.add_argument("--whole-program", action="store_true",
+                        dest="whole_program",
+                        help="interprocedural summary-based checking "
+                        "across all inputs (link-time lint)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="json: one machine-readable record per line")
+    parser.add_argument("--Werror", "-Werror", action="store_true",
+                        dest="werror",
                         help="treat warnings as errors for the exit code")
+    parser.add_argument("--max-errors", type=int, default=0,
+                        metavar="N",
+                        help="stop printing after N errors (0 = no limit)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="bytecode/summary cache for .lc inputs "
+                        "(whole-program mode): unchanged files are "
+                        "neither recompiled nor resummarized")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent TU compilations (with --cache-dir)")
+    parser.add_argument("-stats", "--stats", action="store_true",
+                        dest="stats",
+                        help="print analysis/cache counters to stderr")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the summary line")
     args = parser.parse_args(argv)
@@ -337,44 +365,114 @@ def lc_lint(argv=None) -> int:
     if args.list_checks:
         for name in sorted(CHECKERS):
             print(f"{name:16s} {CHECKERS[name].description}")
+        for name in sorted(IPA_CHECKERS):
+            print(f"{name:20s} {IPA_CHECKERS[name].description} "
+                  "[--whole-program]")
         return 0
     if not args.inputs:
         parser.error("no inputs")
 
     checks = None
+    ipa_checks = None
     if args.checks:
-        checks = [name.strip() for name in args.checks.split(",")]
-        for name in checks:
-            if name not in CHECKERS:
+        names = [name.strip() for name in args.checks.split(",")]
+        for name in names:
+            if name not in CHECKERS and name not in IPA_CHECKERS:
                 parser.error(f"unknown checker {name!r}")
+            if name in IPA_CHECKERS and not (args.whole_program
+                                             or name in CHECKERS):
+                parser.error(f"checker {name!r} needs --whole-program")
+        checks = [n for n in names if n in CHECKERS]
+        ipa_checks = [n for n in names if n in IPA_CHECKERS]
+        if args.whole_program and "gep-bounds" in names \
+                and "gep-bounds" not in ipa_checks:
+            ipa_checks.append("gep-bounds")
 
-    loaded = [_load_for_lint(path) for path in args.inputs]
+    try:
+        return _run_lint(args, checks, ipa_checks)
+    except SystemExit:
+        raise
+    except Exception as exc:  # noqa: BLE001 - exit-code contract
+        print(f"lc-lint: internal error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_lint(args, checks, ipa_checks) -> int:
+    from .sanalysis import (
+        check_cross_module, dedupe, run_checkers, run_whole_program,
+        stable_order,
+    )
+    from .sanalysis.diagnostics import Severity
+
+    try:
+        loaded = [_load_for_lint(path) for path in args.inputs]
+    except OSError as exc:
+        print(f"lc-lint: {exc}", file=sys.stderr)
+        return 2
     diagnostics = []
-    rendered: list[str] = []
+    stats: dict = {}
     for module, display in loaded:
         if args.level:
             optimize_module(module, args.level)
-        for diag in run_checkers(module, checks):
-            diagnostics.append(diag)
-            rendered.append(diag.render(display))
+        if not args.whole_program or checks is None or checks:
+            for diag in run_checkers(module, checks):
+                if diag.file is None:
+                    diag.file = display
+                diagnostics.append(diag)
     if len(loaded) > 1:
         cross = check_cross_module([module for module, _ in loaded])
         for diag in cross:
+            if diag.file is None:
+                diag.file = "<link>"
             diagnostics.append(diag)
-            rendered.append(diag.render("<link>"))
         # Linking would hard-fail on exactly the conflicts just reported.
         if args.lto and not any(d.is_error for d in cross):
             linked = link_modules([module for module, _ in loaded], "program")
             link_time_optimize(linked, max(args.level, 1))
             for diag in run_checkers(linked, checks):
+                if diag.file is None:
+                    diag.file = "<program>"
                 diagnostics.append(diag)
-                rendered.append(diag.render("<program>"))
-    for line in rendered:
-        print(line)
-    errors = sum(1 for d in diagnostics if d.is_error)
-    warnings = sum(1 for d in diagnostics
-                   if d.severity.name == "WARNING")
-    if not args.quiet:
+    if args.whole_program:
+        if args.cache_dir is not None and \
+                all(p.endswith(".lc") for p in args.inputs):
+            from .driver.pipelines import lint_whole_program
+
+            cache = BytecodeCache(args.cache_dir)
+            result = lint_whole_program(
+                [_read_text(path) for path in args.inputs],
+                filenames=list(args.inputs), level=args.level,
+                checks=ipa_checks, cache=cache, jobs=args.jobs)
+            stats[cache.name] = cache.statistics()
+        else:
+            result = run_whole_program(
+                [(display, module) for module, display in loaded],
+                ipa_checks)
+        diagnostics.extend(result.diagnostics)
+        stats["lint-wp"] = result.statistics()
+    diagnostics = stable_order(dedupe(diagnostics))
+
+    errors = warnings = 0
+    truncated = False
+    for diag in diagnostics:
+        if diag.is_error:
+            errors += 1
+        elif diag.severity == Severity.WARNING:
+            warnings += 1
+        if truncated:
+            continue
+        if args.format == "json":
+            print(json.dumps(diag.to_dict(), sort_keys=True))
+        else:
+            print(diag.render())
+        if args.max_errors and diag.is_error and errors >= args.max_errors:
+            truncated = True
+    if truncated and args.format == "text":
+        print(f"lc-lint: too many errors; stopping after "
+              f"{args.max_errors}", file=sys.stderr)
+    if args.stats:
+        _print_stats(stats)
+    if not args.quiet and args.format == "text":
         print(f"lc-lint: {errors} error(s), {warnings} warning(s), "
               f"{len(diagnostics) - errors - warnings} note(s)",
               file=sys.stderr)
