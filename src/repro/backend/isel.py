@@ -40,7 +40,60 @@ _CC_FROM_OPCODE = {
     Opcode.SETGT: "gt", Opcode.SETLE: "le", Opcode.SETGE: "ge",
 }
 _NEGATED_CC = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
-               "gt": "le", "le": "gt"}
+               "gt": "le", "le": "gt",
+               "ult": "uge", "uge": "ult", "ugt": "ule", "ule": "ugt",
+               "flt": "fge", "fge": "flt", "fgt": "fle", "fle": "fgt"}
+
+
+def _cc_for(opcode: Opcode, operand_type: types.Type) -> str:
+    """Condition code for a comparison, honouring operand signedness.
+
+    Equality is representation-agnostic, but the ordered compares must
+    pick the signed, unsigned, or floating flavour from the *type* —
+    the machine's compare instruction cannot see signedness on its own
+    (the IR keeps it in the type, paper section 2.1).
+    """
+    cc = _CC_FROM_OPCODE[opcode]
+    if cc in ("eq", "ne"):
+        return cc
+    if operand_type.is_floating:
+        return "f" + cc
+    if (operand_type.is_pointer or operand_type.is_bool
+            or not operand_type.signed):  # type: ignore[attr-defined]
+        return "u" + cc
+    return cc
+
+
+def _type_desc(ty: types.Type) -> str:
+    """Compact value descriptor (kind + byte width) for CVT subs."""
+    if ty.is_bool:
+        return "b1"
+    if ty.is_pointer:
+        return "p8"
+    if ty.is_floating:
+        return "f4" if ty.bits == 32 else "f8"  # type: ignore[attr-defined]
+    sign = "s" if ty.signed else "u"  # type: ignore[attr-defined]
+    return sign + str(ty.bits // 8)  # type: ignore[attr-defined]
+
+
+def _value_tags(ty: types.Type) -> tuple[str, int]:
+    """(kind, size) pair describing how a register value of ``ty`` is
+    interpreted by the executing backend."""
+    if ty.is_bool:
+        return "b", 1
+    if ty.is_pointer:
+        return "u", 8
+    if ty.is_floating:
+        return "f", ty.bits // 8  # type: ignore[attr-defined]
+    sign = "s" if ty.signed else "u"  # type: ignore[attr-defined]
+    return sign, ty.bits // 8  # type: ignore[attr-defined]
+
+
+def _raw_compatible(src_ty: types.Type, dst_ty: types.Type) -> bool:
+    """True when a cast is a register-width no-op (same 64-bit pattern):
+    pointer<->pointer and 64-bit-integer<->pointer reinterpretations."""
+    return _type_desc(src_ty) in ("s8", "u8", "p8") and \
+        _type_desc(dst_ty) in ("s8", "u8", "p8")
 
 
 class InstructionSelector:
@@ -126,7 +179,13 @@ class InstructionSelector:
     def _materialize_constexpr(self, expr: ConstantExpr, reg: int) -> None:
         if expr.opcode == "cast":
             inner = self._operand(expr.operands[0])
-            self._emit(MOp.MOV, dst=reg, srcs=(inner,))
+            src_ty = expr.operands[0].type
+            if _raw_compatible(src_ty, expr.type):
+                self._emit(MOp.MOV, dst=reg, srcs=(inner,))
+            else:
+                self._emit(MOp.CVT,
+                           sub=f"{_type_desc(src_ty)}:{_type_desc(expr.type)}",
+                           dst=reg, srcs=(inner,))
             return
         base = self._operand(expr.operands[0])
         offset = 0
@@ -151,7 +210,8 @@ class InstructionSelector:
             if opcode in _CC_FROM_OPCODE:
                 if _fuses_into_branch(inst):
                     return  # materialised by the branch (CMPBR)
-                self._emit(MOp.SETCC, sub=_CC_FROM_OPCODE[opcode],
+                self._emit(MOp.SETCC,
+                           sub=_cc_for(opcode, inst.operands[0].type),
                            dst=self._vreg(inst),
                            srcs=(self._operand(inst.operands[0]),
                                  self._operand(inst.operands[1])))
@@ -176,11 +236,13 @@ class InstructionSelector:
             return
         if isinstance(inst, LoadInst):
             self._select_memory(inst, self._vreg(inst), None,
-                                self.layout.size_of(inst.type))
+                                self.layout.size_of(inst.type),
+                                _value_tags(inst.type)[0])
             return
         if isinstance(inst, StoreInst):
             self._select_memory(inst, None, self._operand(inst.value),
-                                self.layout.size_of(inst.value.type))
+                                self.layout.size_of(inst.value.type),
+                                _value_tags(inst.value.type)[0])
             return
         if isinstance(inst, GetElementPtrInst):
             if self._gep_is_foldable(inst) and _only_memory_uses(inst):
@@ -188,10 +250,19 @@ class InstructionSelector:
             self._select_gep(inst)
             return
         if isinstance(inst, CastInst):
-            # Same-register reinterpretation or width change: a move
-            # (plus nothing else — the register file is untyped).
-            self._emit(MOp.MOV, dst=self._vreg(inst),
-                       srcs=(self._operand(inst.value),))
+            src_ty = inst.value.type
+            if _raw_compatible(src_ty, inst.type):
+                # Full-register reinterpretation: a plain move.
+                self._emit(MOp.MOV, dst=self._vreg(inst),
+                           srcs=(self._operand(inst.value),))
+            else:
+                # Width or representation change: the machine must
+                # truncate / sign- or zero-extend / convert, so the
+                # conversion survives as an instruction of its own.
+                self._emit(MOp.CVT,
+                           sub=f"{_type_desc(src_ty)}:{_type_desc(inst.type)}",
+                           dst=self._vreg(inst),
+                           srcs=(self._operand(inst.value),))
             return
         if isinstance(inst, (CallInst, InvokeInst)):
             self._select_call(inst)
@@ -208,7 +279,9 @@ class InstructionSelector:
                 # feeding the branch folds into one conditional jump.
                 if (isinstance(condition, BinaryOperator)
                         and _fuses_into_branch(condition)):
-                    self._emit(MOp.CMPBR, sub=_CC_FROM_OPCODE[condition.opcode],
+                    self._emit(MOp.CMPBR,
+                               sub=_cc_for(condition.opcode,
+                                           condition.operands[0].type),
                                srcs=(self._operand(condition.operands[0]),
                                      self._operand(condition.operands[1])),
                                block=self._block_map[id(inst.operands[1])])
@@ -257,7 +330,8 @@ class InstructionSelector:
             cursor = self._machine_fn.new_vreg()
             self._emit(MOp.LOAD, dst=cursor, srcs=(base,), imm=offset, size=8)
             self._emit(MOp.LOAD, dst=self._vreg(inst), srcs=(cursor,), imm=0,
-                       size=self.layout.size_of(inst.type))
+                       size=self.layout.size_of(inst.type),
+                       kind=_value_tags(inst.type)[0])
             advanced = self._machine_fn.new_vreg()
             self._emit(MOp.ALUI, sub="add", dst=advanced, srcs=(cursor,), imm=8)
             self._emit(MOp.STORE, srcs=(advanced, base), imm=offset, size=8)
@@ -266,15 +340,19 @@ class InstructionSelector:
 
     def _select_alu(self, inst: Instruction, operation: str) -> None:
         lhs, rhs = inst.operands
+        kind, size = _value_tags(inst.type)
         if isinstance(rhs, ConstantInt) and -(1 << 31) <= rhs.value < (1 << 31):
             self._emit(MOp.ALUI, sub=operation, dst=self._vreg(inst),
-                       srcs=(self._operand(lhs),), imm=rhs.value)
+                       srcs=(self._operand(lhs),), imm=rhs.value,
+                       kind=kind, size=size)
             return
         self._emit(MOp.ALU, sub=operation, dst=self._vreg(inst),
-                   srcs=(self._operand(lhs), self._operand(rhs)))
+                   srcs=(self._operand(lhs), self._operand(rhs)),
+                   kind=kind, size=size)
 
     def _select_memory(self, inst: Instruction, dst: Optional[int],
-                       src: Optional[int], size: int) -> None:
+                       src: Optional[int], size: int,
+                       kind: str = "u") -> None:
         """Emit a load or store, folding the pointer's GEP into the
         richest addressing mode the machine has:
 
@@ -288,25 +366,28 @@ class InstructionSelector:
         if mode[0] == "global":
             _, symbol, disp = mode
             if src is None:
-                self._emit(MOp.LOADG, dst=dst, symbol=symbol, imm=disp, size=size)
+                self._emit(MOp.LOADG, dst=dst, symbol=symbol, imm=disp,
+                           size=size, kind=kind)
             else:
                 self._emit(MOp.STOREG, srcs=(src,), symbol=symbol, imm=disp,
-                           size=size)
+                           size=size, kind=kind)
             return
         if mode[0] == "indexed":
             _, base, index, scale, disp = mode
             if src is None:
                 self._emit(MOp.LOADX, sub=str(scale), dst=dst,
-                           srcs=(base, index), imm=disp, size=size)
+                           srcs=(base, index), imm=disp, size=size, kind=kind)
             else:
                 self._emit(MOp.STOREX, sub=str(scale), srcs=(src, base, index),
-                           imm=disp, size=size)
+                           imm=disp, size=size, kind=kind)
             return
         _, base, disp = mode
         if src is None:
-            self._emit(MOp.LOAD, dst=dst, srcs=(base,), imm=disp, size=size)
+            self._emit(MOp.LOAD, dst=dst, srcs=(base,), imm=disp, size=size,
+                       kind=kind)
         else:
-            self._emit(MOp.STORE, srcs=(src, base), imm=disp, size=size)
+            self._emit(MOp.STORE, srcs=(src, base), imm=disp, size=size,
+                       kind=kind)
 
     def _addressing_mode(self, pointer: Value):
         if (isinstance(pointer, GetElementPtrInst) and pointer.parent is not None

@@ -21,6 +21,7 @@ class MOp(enum.Enum):
     LA = "la"          # dst, symbol (address of global/function)
     ALU = "alu"        # sub=op, dst, a, b
     ALUI = "alui"      # sub=op, dst, a, imm
+    CVT = "cvt"        # sub="<src>:<dst>" value conversion (widen/narrow/fp)
     LOAD = "load"      # dst, [base + off], size
     STORE = "store"    # src, [base + off], size
     LOADG = "loadg"    # dst, [symbol + off], size (global direct)
@@ -42,12 +43,13 @@ class MOp(enum.Enum):
 
 class MachineInstr:
     __slots__ = ("op", "sub", "dst", "srcs", "imm", "symbol", "block",
-                 "size", "mem_src")
+                 "size", "kind", "mem_src")
 
     def __init__(self, op: MOp, sub: Optional[str] = None,
                  dst: Optional[int] = None, srcs: tuple = (),
                  imm=None, symbol: Optional[str] = None,
-                 block: Optional["MachineBlock"] = None, size: int = 8):
+                 block: Optional["MachineBlock"] = None, size: int = 8,
+                 kind: Optional[str] = None):
         self.op = op
         self.sub = sub
         self.dst = dst
@@ -55,7 +57,11 @@ class MachineInstr:
         self.imm = imm
         self.symbol = symbol
         self.block = block
-        self.size = size  # access size for load/store
+        self.size = size  # access size for load/store, operand width for ALU
+        #: Value interpretation for ALU/memory ops: "s"igned int,
+        #: "u"nsigned int (also pointers), "f"loat, "b"ool; None for
+        #: untyped moves (register-width copies, spill traffic).
+        self.kind = kind
         #: CISC memory-operand folding: (source index, frame disp) of a
         #: spilled operand read directly from memory (no reload instr).
         self.mem_src: Optional[tuple[int, int]] = None

@@ -82,11 +82,15 @@ class LinearScanAllocator:
             if instr.block is not None:
                 target_start = block_starts.get(id(instr.block))
                 if target_start is not None and target_start <= index:
-                    # Only values defined before the loop head and still
-                    # live into the loop body cross the back edge;
-                    # loop-internal values die within their iteration.
+                    # Any value live anywhere inside [target, branch] may
+                    # be read again on the next trip around the loop, so
+                    # its register must stay untouched until the branch.
+                    # That includes intervals *starting* inside the span:
+                    # a phi copy materialised in a block the layout put
+                    # after the loop head starts mid-loop yet is carried
+                    # across the back edge.
                     for interval in intervals.values():
-                        if interval.start < target_start and interval.end >= target_start:
+                        if interval.start <= index and interval.end >= target_start:
                             interval.end = max(interval.end, index)
         return intervals
 

@@ -26,7 +26,11 @@ from .regalloc import FRAME_REG
 
 _EAX = -1  # phys(0): the return-value register
 
-_CC_CODES = {"eq": 0, "ne": 1, "lt": 2, "gt": 3, "le": 4, "ge": 5}
+_CC_CODES = {"eq": 0, "ne": 1, "lt": 2, "gt": 3, "le": 4, "ge": 5,
+             # Unsigned flavours (x86 jb/ja/jbe/jae, sparc bcs/bgu/...).
+             "ult": 6, "ugt": 7, "ule": 8, "uge": 9,
+             # Floating-point flavours (compare in the FP unit).
+             "flt": 10, "fgt": 11, "fle": 12, "fge": 13}
 _ALU_CODES = {"add": 0, "sub": 1, "mul": 2, "div": 3, "rem": 4,
               "and": 5, "or": 6, "xor": 7, "shl": 8, "shr": 9}
 
@@ -170,6 +174,22 @@ class X86LikeTarget(Target):
                 return base + bytes([0x83, _modrm(instr.dst, instr.dst),
                                      instr.imm & 0xFF])
             return base + bytes([0x81, _modrm(instr.dst, instr.dst)]) + _imm32(instr.imm)
+        if op == MOp.CVT:
+            src_desc, dst_desc = instr.sub.split(":")
+            if "f" in (src_desc[0], dst_desc[0]):
+                # cvtsi2sd/cvttsd2si/cvtss2sd family: prefix + 0F escape
+                # + opcode + modrm (+ REX.W for 64-bit integer halves).
+                return b"\x48\xf2\x0f\x2a" + bytes(
+                    [_modrm(instr.dst, instr.srcs[0])])
+            if int(dst_desc[1]) > int(src_desc[1]):
+                # movsx/movzx r64, r/m: REX.W + 0F BE/B6 + modrm.
+                widen = 0xBE if src_desc[0] == "s" else 0xB6
+                return b"\x48\x0f" + bytes(
+                    [widen, _modrm(instr.dst, instr.srcs[0])])
+            # Narrowing / same-width resign: movzx/movsx from the
+            # subregister (no REX needed below 64 bits).
+            widen = 0xBE if dst_desc[0] == "s" else 0xB6
+            return bytes([0x0F, widen, _modrm(instr.dst, instr.srcs[0])])
         if op == MOp.LOAD:
             return self._memory(0x8B, instr.dst, instr.srcs[0], instr.imm)
         if op == MOp.STORE:
@@ -311,6 +331,11 @@ class SparcLikeTarget(Target):
             if instr.sub == "mul":
                 return self._words(3, 0x20 + code)  # sethi+or+mul
             return self._words(3, 0x20 + code)
+        if op == MOp.CVT:
+            # Integer resize: shift-pair (sll+sra/srl); FP converts go
+            # through the FP unit (move + fitod/fdtoi): 2 words either way.
+            tag = 0x71 if "f" in instr.sub else 0x70
+            return self._words(2, tag)
         if op == MOp.LOAD:
             if _fits(instr.imm, 13):
                 return self._word(0x30, _reg(instr.dst), _reg(instr.srcs[0]),

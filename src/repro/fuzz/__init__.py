@@ -1,0 +1,27 @@
+"""Differential fuzzing and automatic bug reduction (lc-fuzz/lc-bugpoint).
+
+The three representations (in-memory IR, text, bytecode), the two
+execution engines (IR interpreter, machine-code simulator), the two
+targets, and the optimization levels all claim to preserve one
+semantics.  This package generates programs and holds every pair of
+those paths to that claim — then shrinks whatever breaks it to a
+minimal, named reproducer.
+"""
+
+from .bugpoint import (
+    BisectionResult, BugpointResult, bisect_passes, bugpoint_source,
+    clone_module, reduce_module,
+)
+from .generator import ProgramGenerator, generate_program
+from .harness import (
+    Divergence, FuzzReport, HarnessConfig, Outcome, ProgramResult,
+    check_program, fuzz, run_interpreter, run_machine,
+)
+
+__all__ = [
+    "BisectionResult", "BugpointResult", "Divergence", "FuzzReport",
+    "HarnessConfig", "Outcome", "ProgramGenerator", "ProgramResult",
+    "bisect_passes", "bugpoint_source", "check_program", "clone_module",
+    "fuzz", "generate_program", "reduce_module", "run_interpreter",
+    "run_machine",
+]

@@ -1,0 +1,396 @@
+"""Seeded generation of well-typed, well-defined LC programs.
+
+The generator is the front half of ``lc-fuzz``: given a seed it emits a
+deterministic, self-contained LC source whose behaviour is fully
+defined under the reference semantics, so that *any* behavioural
+difference between two compilation/execution paths is a compiler bug
+and never "the program's fault".
+
+Defined-by-construction rules (the generator's contract with the
+differential harness):
+
+* every local is initialized at its declaration; every global has a
+  constant initializer;
+* array indices are masked with ``& (N - 1)`` against power-of-two
+  array sizes, so no access is out of bounds;
+* integer division/remainder denominators are ``(expr | 1)`` — never
+  zero (a trap would be legal but optimizers may legally delete dead
+  traps, which would look like a divergence);
+* loops have literal trip counts; recursion has a literal depth bound;
+* no exceptions, no varargs calls, no address printing, no ``clock()``
+  — constructs whose observable behaviour legitimately differs across
+  engines (step counts, allocation addresses) or that the backends do
+  not model (unwinding);
+* ``float`` is avoided (``double`` only), keeping re-rounding out of
+  the picture.
+
+Output is observed through ``print_int``/``print_long``/``print_char``
+/``puts`` plus the process exit code, giving the harness a rich
+behavioural fingerprint per program.
+"""
+
+from __future__ import annotations
+
+import random
+
+_PRELUDE = """\
+extern int print_int(int x);
+extern int print_long(long x);
+extern int print_char(int c);
+extern int puts(char *s);
+"""
+
+#: Scalar types the generator works in, with (suffix for literals,
+#: bits, signedness).  float is deliberately absent; double is handled
+#: separately.
+_INT_TYPES = {
+    "char": (8, True), "short": (16, True), "int": (32, True),
+    "long": (64, True),
+    "uchar": (8, False), "ushort": (16, False), "uint": (32, False),
+    "ulong": (64, False),
+}
+
+_ARITH = ["+", "-", "*", "&", "|", "^"]
+_CMP = ["<", ">", "<=", ">=", "==", "!="]
+
+
+class _Scope:
+    """Variables visible at a generation site, grouped by type."""
+
+    def __init__(self):
+        self.scalars: dict[str, list[str]] = {}
+        self.arrays: list[tuple[str, str, int]] = []  # (name, elem ty, size)
+
+    def add(self, name: str, ty: str) -> None:
+        self.scalars.setdefault(ty, []).append(name)
+
+    def pick(self, rng: random.Random, ty: str):
+        names = self.scalars.get(ty)
+        return rng.choice(names) if names else None
+
+    def pick_any(self, rng: random.Random):
+        pool = [(name, ty) for ty, names in self.scalars.items()
+                for name in names]
+        return rng.choice(pool) if pool else None
+
+
+class ProgramGenerator:
+    """One seeded program. ``generate()`` returns the LC source text."""
+
+    def __init__(self, seed: int, size: int = 3):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        #: Rough size knob: number of helper functions.
+        self.size = max(1, size)
+        self.functions: list[tuple[str, str, list[tuple[str, str]]]] = []
+        self._counter = 0
+
+    # -- naming ----------------------------------------------------------
+
+    def _name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    @staticmethod
+    def _child_scope(scope: _Scope) -> _Scope:
+        child = _Scope()
+        child.scalars = {ty: list(names)
+                         for ty, names in scope.scalars.items()}
+        child.arrays = list(scope.arrays)
+        return child
+
+    # -- literals and leaves ---------------------------------------------
+
+    def _literal(self, ty: str) -> str:
+        rng = self.rng
+        if ty == "double":
+            return f"{rng.randint(-50, 50)}.{rng.randint(0, 99):02d}"
+        bits, signed = _INT_TYPES[ty]
+        if rng.random() < 0.15:
+            # Boundary-ish values, clamped into the *literal* grammar;
+            # the cast below makes the type exact.
+            value = rng.choice([0, 1, 127, 128, 255, 32767, 65535,
+                                2147483647, 4294967295])
+        else:
+            value = rng.randint(0, min(2 ** bits - 1, 10 ** 6))
+        if signed:
+            value = min(value, 2 ** (bits - 1) - 1)
+            if rng.random() < 0.4:
+                value = -value
+        suffix = ""
+        if ty in ("ulong", "uint"):
+            suffix = "u" if ty == "uint" else "ul"
+        elif ty == "long":
+            suffix = "l"
+        if ty in ("char", "uchar", "short", "ushort"):
+            return f"(({ty}){value})"
+        return f"{value}{suffix}"
+
+    def _leaf(self, ty: str, scope: _Scope) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.45:
+            name = scope.pick(rng, ty)
+            if name is not None:
+                return name
+        if roll < 0.7:
+            picked = scope.pick_any(rng)
+            if picked is not None:
+                name, _ = picked
+                return f"(({ty}){name})"
+        return self._literal(ty)
+
+    # -- expressions ------------------------------------------------------
+
+    def _expr(self, ty: str, scope: _Scope, depth: int) -> str:
+        rng = self.rng
+        if depth <= 0:
+            return self._leaf(ty, scope)
+        if ty == "double":
+            return self._double_expr(scope, depth)
+        choice = rng.random()
+        if choice < 0.30:
+            op = rng.choice(_ARITH)
+            return (f"({self._expr(ty, scope, depth - 1)} {op} "
+                    f"{self._expr(ty, scope, depth - 1)})")
+        if choice < 0.40:
+            op = rng.choice(["/", "%"])
+            return (f"({self._expr(ty, scope, depth - 1)} {op} "
+                    f"({self._expr(ty, scope, depth - 1)} | ({ty})1))")
+        if choice < 0.50:
+            op = rng.choice(["<<", ">>"])
+            bits, _ = _INT_TYPES[ty]
+            # Occasionally over-wide: saturating shifts are defined
+            # behaviour here and a classic backend divergence source.
+            amount = rng.randint(0, bits + 3 if rng.random() < 0.2
+                                 else bits - 1)
+            return f"({self._expr(ty, scope, depth - 1)} {op} {amount})"
+        if choice < 0.62:
+            # Comparisons produce bool; cast back into the int domain.
+            cmp_ty = rng.choice(list(_INT_TYPES) + ["double"])
+            op = rng.choice(_CMP)
+            return (f"(({ty})({self._expr(cmp_ty, scope, depth - 1)} {op} "
+                    f"{self._expr(cmp_ty, scope, depth - 1)}))")
+        if choice < 0.74:
+            # Cast chains: the instcombine double-cast territory.
+            mid = rng.choice(list(_INT_TYPES))
+            return f"(({ty}){self._expr(mid, scope, depth - 1)})"
+        if choice < 0.80:
+            # The space avoids "--literal" lexing as a decrement.
+            return f"(- {self._expr(ty, scope, depth - 1)})"
+        if choice < 0.86:
+            return f"(~{self._expr(ty, scope, depth - 1)})"
+        if choice < 0.93 and scope.arrays:
+            name, elem_ty, sz = rng.choice(scope.arrays)
+            index = self._expr("int", scope, depth - 1)
+            return f"(({ty}){name}[({index}) & {sz - 1}])"
+        if self.functions and rng.random() < 0.8:
+            fname, ret_ty, params = rng.choice(self.functions)
+            actuals = ", ".join(
+                f"({pty})({self._expr(pty, scope, max(0, depth - 2))})"
+                for _, pty in params
+            )
+            return f"(({ty}){fname}({actuals}))"
+        return self._leaf(ty, scope)
+
+    def _double_expr(self, scope: _Scope, depth: int) -> str:
+        rng = self.rng
+        choice = rng.random()
+        if choice < 0.45:
+            op = rng.choice(["+", "-", "*"])
+            return (f"({self._double_expr(scope, depth - 1)} {op} "
+                    f"{self._double_expr(scope, depth - 1)})")
+        if choice < 0.65:
+            src = rng.choice(list(_INT_TYPES))
+            return f"((double){self._expr(src, scope, depth - 1)})"
+        return self._leaf("double", scope)
+
+    # -- statements -------------------------------------------------------
+
+    def _statements(self, scope: _Scope, budget: int,
+                    indent: str = "  ") -> list[str]:
+        rng = self.rng
+        lines: list[str] = []
+        while budget > 0:
+            budget -= 1
+            roll = rng.random()
+            if roll < 0.30:
+                ty = rng.choice(list(_INT_TYPES) + ["double"])
+                name = self._name("v")
+                lines.append(f"{indent}{ty} {name} = "
+                             f"{self._expr(ty, scope, 2)};")
+                scope.add(name, ty)
+            elif roll < 0.55:
+                picked = scope.pick_any(rng)
+                if picked is None:
+                    continue
+                name, ty = picked
+                lines.append(f"{indent}{name} = {self._expr(ty, scope, 2)};")
+            elif roll < 0.68:
+                cond_ty = rng.choice(list(_INT_TYPES))
+                cond = (f"{self._expr(cond_ty, scope, 1)} "
+                        f"{rng.choice(_CMP)} {self._expr(cond_ty, scope, 1)}")
+                # Branch bodies get a scope *copy*: their declarations
+                # are block-scoped and must not leak to later code.
+                then = self._statements(self._child_scope(scope), 1,
+                                        indent + "  ")
+                lines.append(f"{indent}if ({cond}) {{")
+                lines.extend(then)
+                if rng.random() < 0.5:
+                    lines.append(f"{indent}}} else {{")
+                    lines.extend(self._statements(self._child_scope(scope),
+                                                  1, indent + "  "))
+                lines.append(f"{indent}}}")
+            elif roll < 0.82:
+                # Bounded counting loop mutating an accumulator.
+                ivar = self._name("i")
+                trips = rng.randint(1, 12)
+                acc = scope.pick(rng, "long") or scope.pick(rng, "int")
+                lines.append(f"{indent}int {ivar} = 0;")
+                lines.append(f"{indent}for ({ivar} = 0; {ivar} < {trips}; "
+                             f"{ivar} = {ivar} + 1) {{")
+                inner = self._child_scope(scope)
+                inner.add(ivar, "int")
+                lines.extend(self._statements(inner, 1, indent + "  "))
+                if acc is not None:
+                    lines.append(f"{indent}  {acc} = {acc} + ({ivar});")
+                lines.append(f"{indent}}}")
+                scope.add(ivar, "int")
+            elif roll < 0.92 and scope.arrays:
+                name, elem_ty, sz = rng.choice(scope.arrays)
+                index = self._expr("int", scope, 1)
+                lines.append(f"{indent}{name}[({index}) & {sz - 1}] = "
+                             f"{self._expr(elem_ty, scope, 2)};")
+            else:
+                call = None
+                if self.functions:
+                    fname, ret_ty, params = rng.choice(self.functions)
+                    actuals = ", ".join(
+                        f"({pty})({self._expr(pty, scope, 1)})"
+                        for _, pty in params
+                    )
+                    call = f"{fname}({actuals})"
+                if call is not None:
+                    target_ty = "long"
+                    acc = scope.pick(rng, target_ty)
+                    if acc is not None:
+                        lines.append(f"{indent}{acc} = {acc} ^ "
+                                     f"(long)({call});")
+                    else:
+                        lines.append(f"{indent}print_long((long)({call}));")
+        return lines
+
+    # -- functions --------------------------------------------------------
+
+    def _helper(self) -> str:
+        rng = self.rng
+        ret_ty = rng.choice(list(_INT_TYPES))
+        fname = self._name("f")
+        nparams = rng.randint(1, 3)
+        params = [(self._name("p"), rng.choice(list(_INT_TYPES)))
+                  for _ in range(nparams)]
+        scope = _Scope()
+        for pname, pty in params:
+            scope.add(pname, pty)
+        lines = [f"{ret_ty} {fname}("
+                 + ", ".join(f"{pty} {pname}" for pname, pty in params)
+                 + ") {"]
+        recursive = rng.random() < 0.35 and params[0][1] in (
+            "int", "long", "short", "char")
+        if recursive:
+            pname, pty = params[0]
+            rest = ", ".join(
+                self._expr(q, scope, 1) for _, q in params[1:])
+            rest = (", " + rest) if rest else ""
+            lines.append(f"  if ({pname} > ({pty})1) {{")
+            lines.append(f"    return ({ret_ty})({fname}"
+                         f"(({pty})({pname} - ({pty})2){rest}) "
+                         f"+ ({ret_ty}){pname});")
+            lines.append("  }")
+        lines.extend(self._statements(scope, rng.randint(1, 3)))
+        lines.append(f"  return {self._expr(ret_ty, scope, 3)};")
+        lines.append("}")
+        self.functions.append((fname, ret_ty, params))
+        return "\n".join(lines)
+
+    def _globals(self) -> tuple[str, _Scope]:
+        rng = self.rng
+        scope = _Scope()
+        lines = []
+        for _ in range(rng.randint(0, 2)):
+            # Plain-literal types only: the front-end wants the global
+            # initializer's constant type to match the slot exactly.
+            ty = rng.choice(["int", "uint", "long", "ulong"])
+            name = self._name("g")
+            lines.append(f"{ty} {name} = {self._literal(ty)};")
+            scope.add(name, ty)
+        return "\n".join(lines), scope
+
+    def _main(self, global_scope: _Scope) -> str:
+        rng = self.rng
+        scope = _Scope()
+        scope.scalars = {t: list(ns)
+                         for t, ns in global_scope.scalars.items()}
+        lines = ["int main() {"]
+        # A couple of arrays (power-of-two sizes for maskable indexing).
+        for _ in range(rng.randint(1, 2)):
+            elem_ty = rng.choice(["int", "long", "uint", "ulong"])
+            size = rng.choice([4, 8, 16])
+            name = self._name("a")
+            lines.append(f"  {elem_ty} {name}[{size}];")
+            ivar = self._name("i")
+            lines.append(f"  int {ivar} = 0;")
+            lines.append(f"  for ({ivar} = 0; {ivar} < {size}; "
+                         f"{ivar} = {ivar} + 1) {{")
+            lines.append(f"    {name}[{ivar}] = ({elem_ty})"
+                         f"({ivar} * {rng.randint(1, 9)} "
+                         f"- {rng.randint(0, 20)});")
+            lines.append("  }")
+            scope.arrays.append((name, elem_ty, size))
+            scope.add(ivar, "int")
+        lines.append("  long checksum = 0;")
+        scope.add("checksum", "long")
+        lines.extend(self._statements(scope, rng.randint(4, 8)))
+        # Fold everything observable into the checksum and print it.
+        for ty, names in sorted(scope.scalars.items()):
+            if ty == "double":
+                continue
+            for name in names:
+                lines.append(f"  checksum = checksum * 31 + (long){name};")
+        for name, elem_ty, size in scope.arrays:
+            ivar = self._name("i")
+            lines.append(f"  int {ivar} = 0;")
+            lines.append(f"  for ({ivar} = 0; {ivar} < {size}; "
+                         f"{ivar} = {ivar} + 1) {{")
+            lines.append(f"    checksum = checksum * 31 + "
+                         f"(long){name}[{ivar}];")
+            lines.append("  }")
+        doubles = scope.scalars.get("double", [])
+        for name in doubles:
+            # Doubles join the fingerprint through a bounded comparison
+            # (printing raw doubles would test formatting, not codegen).
+            lines.append(f"  if ({name} < 0.0) {{ checksum = checksum + 7; }}")
+            lines.append(f"  if ({name} > 1000000.0) "
+                         "{ checksum = checksum - 3; }")
+        lines.append("  print_long(checksum);")
+        lines.append("  print_int((int)(checksum % 1000));")
+        lines.append("  print_char((int)((checksum & 25) + 97));")
+        lines.append('  puts("done");')
+        lines.append("  return (int)(((ulong)checksum) % 251ul);")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def generate(self) -> str:
+        globals_text, global_scope = self._globals()
+        helpers = [self._helper() for _ in range(self.size)]
+        parts = [_PRELUDE]
+        if globals_text:
+            parts.append(globals_text)
+        parts.extend(helpers)
+        parts.append(self._main(global_scope))
+        return "\n\n".join(parts) + "\n"
+
+
+def generate_program(seed: int, size: int = 3) -> str:
+    """The module-level entry point: seed -> LC source text."""
+    return ProgramGenerator(seed, size).generate()

@@ -519,9 +519,121 @@ def lc_llc(argv=None) -> int:
     return 0
 
 
+def lc_fuzz(argv=None) -> int:
+    """Differential fuzzing over representations, levels, and targets."""
+    parser = argparse.ArgumentParser(
+        prog="lc-fuzz",
+        description="differential fuzzer: generated LC programs through "
+                    "every oracle pair (interp -O0 vs -O1/-O2, text and "
+                    "bytecode round-trips, x86/sparc simulated backends)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--count", type=int, default=50,
+                        help="number of programs (program i uses seed+i)")
+    parser.add_argument("--size", type=int, default=3,
+                        help="helper functions per program")
+    parser.add_argument("--step-limit", type=int, default=5_000_000)
+    parser.add_argument("--no-roundtrips", action="store_true",
+                        help="skip text/bytecode round-trip oracles")
+    parser.add_argument("--emit-source", metavar="SEED", type=int,
+                        help="print the program for one seed and exit")
+    parser.add_argument("--save-failing", metavar="DIR",
+                        help="write each divergent program to DIR/<seed>.lc")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    from .fuzz import HarnessConfig, fuzz
+    from .fuzz.generator import generate_program
+
+    if args.emit_source is not None:
+        sys.stdout.write(generate_program(args.emit_source, args.size))
+        return 0
+    config = HarnessConfig(step_limit=args.step_limit,
+                           check_roundtrips=not args.no_roundtrips)
+
+    def on_program(seed, result):
+        if args.quiet:
+            return
+        if result.error:
+            print(f"seed {seed}: ERROR {result.error}", file=sys.stderr)
+        for divergence in result.divergences:
+            print(f"seed {seed}: {divergence.describe()}", file=sys.stderr)
+
+    report = fuzz(args.seed, args.count, args.size, config, on_program)
+    if args.save_failing and report.divergent:
+        import os
+
+        os.makedirs(args.save_failing, exist_ok=True)
+        for seed, _ in report.divergent:
+            path = os.path.join(args.save_failing, f"{seed}.lc")
+            with open(path, "w") as handle:
+                handle.write(generate_program(seed, args.size))
+    if not args.quiet:
+        print(f"lc-fuzz: {report.checked} programs, "
+              f"{report.skipped} skipped (step limit), "
+              f"{len(report.divergent)} divergent", file=sys.stderr)
+    return 1 if report.divergent else 0
+
+
+def lc_bugpoint(argv=None) -> int:
+    """Bisect the guilty pass and reduce a failing program."""
+    parser = argparse.ArgumentParser(
+        prog="lc-bugpoint",
+        description="miscompile debugger: names the pass that introduces "
+                    "a divergence and delta-reduces the program to a "
+                    "minimal verifier-clean reproducer",
+    )
+    parser.add_argument("input", help="failing LC source (or - for stdin)")
+    parser.add_argument("--oracle", default=None,
+                        help="oracle to debug, e.g. interp-O2 or "
+                             "sim-x86-O0 (default: first divergent one)")
+    parser.add_argument("-o", default="-",
+                        help="write the reduced reproducer (.ll) here")
+    parser.add_argument("--step-limit", type=int, default=5_000_000)
+    parser.add_argument("--reduce-step-limit", type=int, default=100_000)
+    args = parser.parse_args(argv)
+
+    from .fuzz import bugpoint_source, check_program
+
+    source = _read_text(args.input)
+    oracle = args.oracle
+    if oracle is None:
+        result = check_program(source)
+        if result.error:
+            print(f"lc-bugpoint: program does not compile: {result.error}",
+                  file=sys.stderr)
+            return 2
+        if not result.divergences:
+            print("lc-bugpoint: no divergence found; nothing to debug",
+                  file=sys.stderr)
+            return 2
+        oracle = result.divergences[0].oracle
+        print(f"lc-bugpoint: debugging oracle {oracle}", file=sys.stderr)
+    try:
+        outcome = bugpoint_source(source, oracle, args.step_limit,
+                                  args.reduce_step_limit)
+    except ValueError as error:
+        print(f"lc-bugpoint: {error}", file=sys.stderr)
+        return 2
+    if outcome.guilty_pass is not None:
+        print(f"guilty pass: {outcome.guilty_pass}", file=sys.stderr)
+    else:
+        print("guilty pass: (none — diverges without optimization)",
+              file=sys.stderr)
+    print(f"reduced to {outcome.instruction_count} instructions",
+          file=sys.stderr)
+    if args.o == "-":
+        sys.stdout.write(outcome.reduced_text)
+    else:
+        with open(args.o, "w") as handle:
+            handle.write(outcome.reduced_text)
+    return 0
+
+
 _TOOLS = {
     "cc": lc_cc, "as": lc_as, "dis": lc_dis, "opt": lc_opt,
     "link": lc_link, "run": lc_run, "llc": lc_llc, "lint": lc_lint,
+    "fuzz": lc_fuzz, "bugpoint": lc_bugpoint,
 }
 
 

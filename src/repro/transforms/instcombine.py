@@ -170,15 +170,44 @@ def _bool_constant(value: Value, expected: bool) -> bool:
     return isinstance(value, ConstantBool) and value.value is expected
 
 
+def _cast_pair_foldable(src: types.Type, mid: types.Type,
+                        dst: types.Type) -> bool:
+    """Is ``cast (cast X: src to mid) to dst`` == ``cast X to dst``?
+
+    Losslessness of src->mid is necessary but not sufficient: a
+    same-width integer cast keeps every bit yet flips the signedness
+    the outer cast *reinterprets*.  ``(long)(uint)x`` zero-extends; if
+    x is ``int``, folding to ``(long)x`` sign-extends — a miscompile
+    (found by lc-fuzz, reduced by lc-bugpoint).  The outer cast only
+    ignores the reinterpretation when it never widens past the middle
+    type's width.
+    """
+    if not types.is_losslessly_convertible(src, mid):
+        return False
+    if src is mid:
+        return True
+    if src.is_pointer and mid.is_pointer:
+        # Pointer casts are pure reinterpretation; the representation
+        # is a bare address either way.
+        return True
+    # Remaining lossless pairs are same-width integers of opposite
+    # signedness.  The middle cast matters exactly when the outer cast
+    # widens (the extension picks sign by the middle type) — anything
+    # that stays within mid's bits sees the same low bits.
+    if dst.is_bool:
+        return True
+    return dst.is_integer and dst.bits <= mid.bits
+
+
 def _simplify_cast(inst: CastInst) -> Optional[Value]:
     source = inst.value
     if source.type is inst.type:
         return source
     if isinstance(source, CastInst):
         # cast (cast X to B) to C == cast X to C when the middle step
-        # loses nothing.
+        # loses nothing and C does not reinterpret what B changed.
         inner = source.value
-        if types.is_losslessly_convertible(inner.type, source.type):
+        if _cast_pair_foldable(inner.type, source.type, inst.type):
             if inner.type is inst.type:
                 return inner
             builder_parent = inst.parent
