@@ -4,7 +4,9 @@ One of the three equivalent program representations: a compact linear
 encoding in which most instructions take a single 32-bit word.
 """
 
-from .reader import BytecodeError, read_bytecode
+from .errors import BytecodeError, TruncatedBytecode
+from .reader import read_bytecode
 from .writer import BytecodeWriter, write_bytecode
 
-__all__ = ["BytecodeError", "read_bytecode", "BytecodeWriter", "write_bytecode"]
+__all__ = ["BytecodeError", "TruncatedBytecode", "read_bytecode",
+           "BytecodeWriter", "write_bytecode"]

@@ -1,0 +1,48 @@
+"""Structured errors for the bytecode representation.
+
+Malformed input is an expected event in a lifelong system: bytecode is
+read back from caches, sidecar files, and executables that may have
+been truncated, bit-flipped, or written by a different toolchain
+version.  Every decoding failure is therefore reported as a
+:class:`BytecodeError` carrying the byte offset and the section being
+decoded, so callers (the cache, the driver, the fault-injection
+harness) can treat it as an isolable event — evict and recompile —
+instead of a process abort from a bare ``IndexError`` or
+``struct.error``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class BytecodeError(Exception):
+    """Malformed bytecode input.
+
+    ``offset`` is the reader position (in bytes) where decoding failed;
+    ``section`` names the part of the format being decoded (``header``,
+    ``type-table``, ``globals``, ``constants``, ``body:<function>``,
+    ``symtab``...).  Both are best-effort and may be ``None`` when the
+    failure happens before any structure is known.
+    """
+
+    def __init__(self, message: str, offset: Optional[int] = None,
+                 section: Optional[str] = None):
+        super().__init__(message)
+        self.message = message
+        self.offset = offset
+        self.section = section
+
+    def __str__(self) -> str:
+        where = []
+        if self.section is not None:
+            where.append(f"section {self.section}")
+        if self.offset is not None:
+            where.append(f"byte offset {self.offset}")
+        if where:
+            return f"{self.message} ({', '.join(where)})"
+        return self.message
+
+
+class TruncatedBytecode(BytecodeError):
+    """The input ended before the structure it promised."""

@@ -26,6 +26,7 @@ from ..core.values import (
     ConstantExpr, ConstantFP, ConstantInt, ConstantPointerNull,
     ConstantString, ConstantStruct, UndefValue, Value,
 )
+from .errors import BytecodeError
 from .stream import Reader
 from .writer import (
     MAGIC, OLDEST_READABLE_VERSION, VERSION, _CONST_ARRAY, _CONST_BOOL, _CONST_EXPR_CAST,
@@ -37,10 +38,6 @@ from .writer import (
 
 _OPCODES = list(Opcode)
 _LINKAGES = [Linkage.EXTERNAL, Linkage.INTERNAL, Linkage.APPENDING]
-
-
-class BytecodeError(Exception):
-    """Malformed bytecode input."""
 
 
 class _Placeholder(Value):
@@ -74,22 +71,54 @@ class _Decoder:
         self.types: list[types.Type] = []
         self.symbols: list = []
         self.module: Optional[Module] = None
+        #: The part of the format currently being decoded, for error
+        #: reports (see :class:`BytecodeError`).
+        self.section = "header"
         #: function name -> byte offset of its (not yet decoded) body.
         self.pending_bodies: dict[str, int] = {}
 
+    def _guard(self, work):
+        """Run one decoding step under the robustness contract: only
+        :class:`BytecodeError` may escape.  Any other exception —
+        ``IndexError`` from a forged table index, ``KeyError``,
+        ``RecursionError`` from a constant cycle, an arity error from a
+        mis-built instruction — is corruption observed late, and is
+        re-raised as a :class:`BytecodeError` stamped with the current
+        byte offset and section."""
+        try:
+            return work()
+        except BytecodeError as error:
+            if error.section is None:
+                error.section = self.section
+            if error.offset is None:
+                error.offset = self.reader.position
+            raise
+        except Exception as error:
+            raise BytecodeError(
+                f"{type(error).__name__}: {error}",
+                offset=self.reader.position, section=self.section,
+            ) from error
+
     def decode(self, lazy: bool = False) -> Module:
+        return self._guard(lambda: self._decode(lazy))
+
+    def _decode(self, lazy: bool = False) -> Module:
         reader = self.reader
+        self.section = "header"
         if reader.data[:4] != MAGIC:
-            raise BytecodeError("bad magic")
+            raise BytecodeError("bad magic", offset=0)
         reader.position = 4
         version = reader.u8()
         if not OLDEST_READABLE_VERSION <= version <= VERSION:
-            raise BytecodeError(f"unsupported bytecode version {version}")
+            raise BytecodeError(f"unsupported bytecode version {version}",
+                                offset=4)
         self.version = version
         self.module = Module(reader.string())
+        self.section = "type-table"
         self._read_type_table()
 
-        global_count = reader.uleb()
+        self.section = "globals"
+        global_count = reader.count()
         has_initializer: list[bool] = []
         for _ in range(global_count):
             name = reader.string()
@@ -101,7 +130,8 @@ class _Decoder:
             )
             has_initializer.append(bool(flags & 0x40))
             self.symbols.append(global_var)
-        function_count = reader.uleb()
+        self.section = "functions"
+        function_count = reader.count()
         functions: list[Function] = []
         for _ in range(function_count):
             name = reader.string()
@@ -115,11 +145,13 @@ class _Decoder:
                     arg.name = reader.string()
             functions.append(function)
             self.symbols.append(function)
+        self.section = "global-initializers"
         for global_var, with_init in zip(self.module.globals.values(),
                                          has_initializer):
             if with_init:
                 global_var.set_initializer(self._read_constant())
         for function in functions:
+            self.section = f"body:{function.name}"
             body_length = reader.uleb()
             if not body_length:
                 continue
@@ -138,8 +170,9 @@ class _Decoder:
             return False
         saved = self.reader.position
         self.reader.position = offset
+        self.section = f"body:{function.name}"
         try:
-            self._read_body(function)
+            self._guard(lambda: self._read_body(function))
         finally:
             self.reader.position = saved
         return True
@@ -148,7 +181,7 @@ class _Decoder:
 
     def _read_type_table(self) -> None:
         reader = self.reader
-        count = reader.uleb()
+        count = reader.count()
         kinds: list[int] = []
         for _ in range(count):
             kind = reader.u8()
@@ -181,7 +214,7 @@ class _Decoder:
                     if opaque:
                         payloads[index] = ("named", None)
                         continue
-                    field_count = reader.uleb()
+                    field_count = reader.count()
                     payloads[index] = (
                         "named", [reader.uleb() for _ in range(field_count)]
                     )
@@ -189,13 +222,13 @@ class _Decoder:
                     marker = reader.u8()
                     if marker != 1:
                         raise BytecodeError("anonymous struct marked opaque")
-                    field_count = reader.uleb()
+                    field_count = reader.count()
                     payloads[index] = (
                         "struct", [reader.uleb() for _ in range(field_count)]
                     )
             elif kind == _TY_FUNCTION:
                 return_index = reader.uleb()
-                param_count = reader.uleb()
+                param_count = reader.count()
                 params = [reader.uleb() for _ in range(param_count)]
                 vararg = reader.u8() == 1
                 payloads[index] = ("fn", return_index, params, vararg)
@@ -281,13 +314,13 @@ class _Decoder:
 
     def _read_body(self, function: Function) -> None:
         reader = self.reader
-        pool_count = reader.uleb()
+        pool_count = reader.count()
         pool = [self._read_constant() for _ in range(pool_count)]
         base = len(self.symbols)
         arg_base = base + len(pool)
         inst_base = arg_base + len(function.args)
 
-        block_count = reader.uleb()
+        block_count = reader.count()
         blocks = [BasicBlock(parent=function) for _ in range(block_count)]
         # Pass 1: read raw records, create typed result placeholders.
         # Value ids number only the value-producing instructions, in
@@ -295,7 +328,7 @@ class _Decoder:
         records: list[list[tuple]] = []
         placeholders: list[Value] = []
         for block_index in range(block_count):
-            inst_count = reader.uleb()
+            inst_count = reader.count()
             block_records = []
             for _ in range(inst_count):
                 word = reader.u32()
@@ -315,6 +348,10 @@ class _Decoder:
                     type_id = (header >> 12) & 0x3FFF
                     count = header & 0xFFF
                     operands = [reader.uleb() for _ in range(count)]
+                if not opcode_number or opcode_number > len(_OPCODES):
+                    raise BytecodeError(
+                        f"bad opcode number {opcode_number}",
+                        offset=reader.position)
                 opcode = _OPCODES[opcode_number - 1]
                 result_type = self.types[type_id]
                 value_slot: Optional[int] = None
@@ -361,7 +398,7 @@ class _Decoder:
 
         # Source-location section (absent in version-1 bytecode).
         if self.version >= 2:
-            for _ in range(reader.uleb()):
+            for _ in range(reader.count()):
                 ordinal = reader.uleb()
                 line = reader.uleb()
                 if ordinal >= len(layout_order):
@@ -369,7 +406,7 @@ class _Decoder:
                 layout_order[ordinal].loc = line
 
         # Optional local symbol table.
-        name_count = reader.uleb()
+        name_count = reader.count()
         values_in_order: list[Value] = list(function.args) + [
             built[i] for i in range(len(built)) if built[i] is not None
         ]

@@ -2,16 +2,22 @@
 compile/link/execute flows of paper Figure 4."""
 
 from .cache import BytecodeCache, toolchain_fingerprint
+from .passmanager import (
+    CrashReport, FaultPolicy, PassBudgetExceeded, TransactionalPassManager,
+    restore_module, snapshot_module,
+)
 from .pipelines import (
     analyze_module, compile_and_link, compile_translation_units,
-    link_time_optimize, lint_whole_program, optimize_module,
+    link_time_optimize, lint_whole_program, lto_pipeline, optimize_module,
     standard_pipeline,
 )
 from .lifelong import LifelongSession
 
 __all__ = [
-    "BytecodeCache", "analyze_module", "compile_and_link",
+    "BytecodeCache", "CrashReport", "FaultPolicy", "PassBudgetExceeded",
+    "TransactionalPassManager", "analyze_module", "compile_and_link",
     "compile_translation_units", "link_time_optimize",
-    "lint_whole_program", "optimize_module", "standard_pipeline",
+    "lint_whole_program", "lto_pipeline", "optimize_module",
+    "restore_module", "snapshot_module", "standard_pipeline",
     "toolchain_fingerprint", "LifelongSession",
 ]

@@ -21,9 +21,13 @@ only because of two representation-equivalence guarantees:
 
 Entries live one-per-file under a cache directory (``<key>.bc``), or in
 memory when no directory is given.  Writes go through a temp file +
-``os.replace`` so concurrent compilers never observe torn entries, and
-a corrupted entry (truncated file, bad magic, stale version) is evicted
-and recompiled rather than crashing the build.
+``os.replace`` so concurrent compilers never observe torn entries.
+Every entry is framed with a SHA-256 integrity digest, so *any*
+corruption — a truncated file, a flipped bit, a partial disk write, an
+entry written by a newer toolchain — is detected on read and handled
+the same way: the entry is evicted and reported as a miss, and the
+caller simply recompiles.  A corrupt cache can cost time; it can never
+change the output (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -41,7 +45,36 @@ from ..core.module import Module
 #: Bump when the standard pipelines change in a way that alters the IR
 #: they produce; it participates in every cache key, so old entries are
 #: automatically ignored (and eventually evicted) after an upgrade.
-PIPELINE_VERSION = 1
+PIPELINE_VERSION = 2
+
+#: On-disk entry framing: magic + 16 bytes of SHA-256 over the payload.
+_FRAME_MAGIC = b"lcC\x01"
+_DIGEST_BYTES = 16
+
+
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.sha256(payload).digest()[:_DIGEST_BYTES]
+    return _FRAME_MAGIC + digest + payload
+
+
+def _unframe(data: bytes) -> Optional[bytes]:
+    """The payload, or None if the frame or digest does not check out
+    (foreign file, torn write, bit rot, newer frame format)."""
+    head = len(_FRAME_MAGIC) + _DIGEST_BYTES
+    if len(data) < head or data[:len(_FRAME_MAGIC)] != _FRAME_MAGIC:
+        return None
+    payload = data[head:]
+    if hashlib.sha256(payload).digest()[:_DIGEST_BYTES] != data[len(_FRAME_MAGIC):head]:
+        return None
+    return payload
+
+
+def _fault_hooks():
+    """The fault-injection module, imported lazily so the driver does
+    not pull the fuzz package in until a fault plan could exist."""
+    from ..fuzz import faultinject
+
+    return faultinject
 
 
 def toolchain_fingerprint() -> str:
@@ -75,6 +108,7 @@ class BytecodeCache:
         self.summary_hits = 0
         self.summary_misses = 0
         self.summary_stores = 0
+        self.summary_evictions = 0
 
     # -- keys ---------------------------------------------------------------
 
@@ -99,7 +133,12 @@ class BytecodeCache:
         return os.path.join(self.directory, f"{key}.bc")
 
     def load_bytes(self, key: str) -> Optional[bytes]:
-        """The stored artifact, or None (counted as a miss)."""
+        """The stored artifact, or None (counted as a miss).
+
+        The integrity frame is verified here: an entry that fails it —
+        torn write, bit flip, foreign or newer format — is evicted and
+        reported as a miss, never handed to the decoder.
+        """
         if self.directory is None:
             data = self._memory.get(key)
         else:
@@ -108,6 +147,16 @@ class BytecodeCache:
                     data = handle.read()
             except OSError:
                 data = None
+        if data is not None:
+            # Injected corruption of the *stored entry* lands before the
+            # frame check, exactly like real disk corruption would: the
+            # digest catches any flip deterministically.
+            hooks = _fault_hooks()
+            data = hooks.mangle("cache.read", data)
+            data = hooks.mangle("bytecode.corrupt", data)
+            data = _unframe(data)
+            if data is None:
+                self.invalidate(key)
         with self._lock:
             if data is None:
                 self.misses += 1
@@ -117,6 +166,7 @@ class BytecodeCache:
 
     def store_bytes(self, key: str, data: bytes) -> None:
         """Store an artifact atomically (last writer wins)."""
+        data = _frame(data)
         if self.directory is None:
             self._memory[key] = data
         else:
@@ -168,6 +218,8 @@ class BytecodeCache:
                     text = handle.read()
             except OSError:
                 text = None
+        if text is not None:
+            text = _fault_hooks().mangle_text("sidecar.corrupt", text)
         with self._lock:
             if text is None:
                 self.summary_misses += 1
@@ -195,19 +247,43 @@ class BytecodeCache:
         with self._lock:
             self.summary_stores += 1
 
+    def evict_text(self, key: str) -> bool:
+        """Drop one sidecar (used when its content is unparseable —
+        e.g. written by a newer toolchain); True if one existed."""
+        if self.directory is None:
+            existed = self._memory_text.pop(key, None) is not None
+        else:
+            try:
+                os.unlink(self._text_path(key))
+                existed = True
+            except OSError:
+                existed = False
+        if existed:
+            with self._lock:
+                self.summary_evictions += 1
+        return existed
+
     # -- modules ------------------------------------------------------------
 
     def load(self, key: str) -> Optional[Module]:
-        """Deserialize a cached module; a corrupted entry is evicted and
+        """Deserialize a cached module; a corrupted entry — including
+        bytecode written by a *newer* toolchain version, which decodes
+        to :class:`~repro.bitcode.BytecodeError` — is evicted and
         reported as a miss, so callers simply recompile."""
         data = self.load_bytes(key)
         if data is None:
             return None
+        # Injected truncation lands *after* the frame check, driving the
+        # decoder's own error path (every strict prefix of valid
+        # bytecode raises BytecodeError — tests/test_robustness.py).
+        data = _fault_hooks().mangle("bytecode.truncate", data)
         try:
             return read_bytecode(data)
         except Exception:
+            # BytecodeError (truncation, corruption, unsupported newer
+            # version) and anything else alike: the load_bytes hit was
+            # illusory — reclassify it and evict.
             with self._lock:
-                # The load_bytes hit was illusory: reclassify it.
                 self.hits -= 1
                 self.misses += 1
             self.invalidate(key)
@@ -233,6 +309,7 @@ class BytecodeCache:
                 "summary-hits": self.summary_hits,
                 "summary-misses": self.summary_misses,
                 "summary-stores": self.summary_stores,
+                "summary-evictions": self.summary_evictions,
             }
 
     def __len__(self) -> int:

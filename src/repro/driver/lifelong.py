@@ -26,6 +26,7 @@ from ..profile import (
     ReoptimizationReport,
 )
 from .cache import BytecodeCache
+from .passmanager import FaultPolicy
 from .pipelines import compile_and_link
 
 
@@ -41,12 +42,18 @@ class LifelongSession:
 
     def __init__(self, sources: Sequence[str], name: str = "program",
                  level: int = 2, cache: Optional[BytecodeCache] = None,
-                 jobs: int = 1):
+                 jobs: int = 1,
+                 fault_policy: Optional[FaultPolicy] = None):
         self.cache = cache
         self._sources = list(sources)
         self._name = name
         self._level = level
         self._jobs = jobs
+        #: Fault-tolerant execution policy for every compile in this
+        #: session (initial build and reoptimizations alike): a session
+        #: that lives forever must outlive its own components' bugs.
+        #: Crash reports accumulate on ``fault_policy.crash_reports``.
+        self.fault_policy = fault_policy
         #: Whole-program cache key (per-TU keys live inside
         #: compile_and_link; this one names the *linked* artifact).
         self._program_key = (
@@ -54,7 +61,8 @@ class LifelongSession:
             if cache is not None else None
         )
         self.module = compile_and_link(sources, name, level,
-                                       cache=cache, jobs=jobs)
+                                       cache=cache, jobs=jobs,
+                                       policy=fault_policy)
         #: The persistent representation shipped with the executable.
         self.bytecode = write_bytecode(self.module)
         if cache is not None:
@@ -103,8 +111,35 @@ class LifelongSession:
         The rewritten IR supersedes the cached whole-program artifact,
         so that entry is invalidated and re-stored; per-TU entries stay
         valid — the sources they were keyed on have not changed.
+
+        Under a :attr:`fault_policy`, a crashing reoptimizer is a
+        contained event: the module rolls back to its pre-reoptimization
+        state (the program keeps running exactly as before) and an
+        empty report is returned — a daemon doing this at idle time
+        must never lose the program to its own bug.
         """
-        report = OfflineReoptimizer(**kwargs).run(self.module, self.profile)
+        if self.fault_policy is not None:
+            from .passmanager import (
+                CrashReport, restore_module, snapshot_module,
+            )
+
+            snapshot = snapshot_module(self.module)
+            try:
+                report = OfflineReoptimizer(**kwargs).run(self.module,
+                                                          self.profile)
+            except Exception as error:
+                restore_module(self.module, snapshot)
+                self.fault_policy.count("passes.rolled_back")
+                self.fault_policy.record(CrashReport(
+                    pass_name="reoptimizer", module=self.module.name,
+                    function=None, error_type=type(error).__name__,
+                    error_message=str(error), traceback=""))
+                report = ReoptimizationReport()
+                self.reopt_reports.append(report)
+                return report
+        else:
+            report = OfflineReoptimizer(**kwargs).run(self.module,
+                                                      self.profile)
         self.reopt_reports.append(report)
         self.bytecode = write_bytecode(self.module)
         if self.cache is not None:

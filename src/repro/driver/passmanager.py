@@ -1,0 +1,456 @@
+"""Transactional pass execution: crash containment for the optimizer.
+
+The paper's lifelong story (sections 2.4, 4.1.2) has the optimizer
+running forever — at link time, at install time, in the idle-time
+reoptimizer.  A component that runs forever *will* eventually meet a
+pass bug, a corrupted artifact, or a pathological input; this module
+makes that an isolable, reportable event instead of a process abort.
+
+Every transform pass runs inside a **transaction**:
+
+1. snapshot the module (a bytecode round-trip — the cheapest faithful
+   deep copy in the system, and deterministic);
+2. run the pass under a step/time budget (a watchdog preempts runaway
+   passes from inside);
+3. verify the result.
+
+On an exception, a verifier failure, or budget exhaustion the module is
+rolled back to the snapshot, the pass is marked *poisoned* for that
+function or module, a structured :class:`CrashReport` (with a
+bugpoint-reduced IR testcase) is recorded, and the pipeline continues —
+semantics preserved, just less optimized.  A failing *function* pass is
+retried once at function granularity so only the guilty function loses
+its optimization; a failing *module* pass is bisected to name the
+function that kills it before being skipped.  The
+:class:`FaultPolicy` owns the knobs and the ``-stats`` counters
+(``passes.rolled_back``, ``crashes.reported``, ``fallbacks.taken``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..bitcode import read_bytecode, write_bytecode
+from ..core.module import Module
+from ..core.verifier import verify_function, verify_module
+from ..transforms.passmanager import PassManager
+
+
+class PassBudgetExceeded(Exception):
+    """A pass ran past its step or wall-clock budget."""
+
+
+def snapshot_module(module: Module) -> bytes:
+    """The transaction snapshot: deterministic serialized bytecode."""
+    return write_bytecode(module, strip_names=False)
+
+
+def restore_module(module: Module, snapshot: bytes) -> None:
+    """Roll ``module`` back to ``snapshot``, in place.
+
+    Callers all over the driver hold references to the module object
+    itself, so rollback replaces its *contents* (globals, functions,
+    named types) rather than the object.
+    """
+    restored = read_bytecode(snapshot)
+    module.globals = restored.globals
+    module.functions = restored.functions
+    module.named_types = restored.named_types
+    for symbol in (*module.globals.values(), *module.functions.values()):
+        symbol.parent = module
+
+
+class _Watchdog:
+    """Preempt a runaway pass from inside, via the trace hook.
+
+    The trace function fires on every Python function call made by the
+    pass; it counts those as *steps* and checks the wall clock every
+    256 of them.  Over budget, it raises :class:`PassBudgetExceeded`
+    inside the traced frame, which unwinds out of the pass and into the
+    surrounding transaction.  Thread-local (``sys.settrace``), so
+    parallel TU compiles budget independently.
+    """
+
+    def __init__(self, time_budget: float, step_budget: int):
+        self.deadline = time.monotonic() + time_budget
+        self.step_budget = step_budget
+        self.steps = 0
+        self._previous = None
+
+    def _trace(self, frame, event, arg):
+        self.steps += 1
+        if self.steps > self.step_budget:
+            raise PassBudgetExceeded(
+                f"step budget {self.step_budget} exhausted")
+        if self.steps % 256 == 0 and time.monotonic() > self.deadline:
+            raise PassBudgetExceeded("time budget exhausted")
+        return None  # no per-line tracing: call events only
+
+    def __enter__(self):
+        self._previous = sys.gettrace()
+        sys.settrace(self._trace)
+        return self
+
+    def __exit__(self, *exc_info):
+        sys.settrace(self._previous)
+        return False
+
+
+@dataclass
+class CrashReport:
+    """Everything a human (or the fuzzer) needs to triage one crash."""
+
+    pass_name: str
+    module: str
+    function: Optional[str]          # guilty function, when identified
+    error_type: str
+    error_message: str
+    traceback: str
+    reduced_ir: Optional[str] = None  # bugpoint-reduced testcase (.ll)
+    reduced_instructions: Optional[int] = None
+    path: Optional[str] = None       # where the report was written
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "module": self.module,
+            "function": self.function,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "traceback": self.traceback,
+            "reduced_instructions": self.reduced_instructions,
+        }
+
+    def describe(self) -> str:
+        where = f" in function @{self.function}" if self.function else ""
+        return (f"pass {self.pass_name} crashed{where}: "
+                f"{self.error_type}: {self.error_message}")
+
+
+@dataclass
+class FaultPolicy:
+    """Knobs + shared counters for fault-tolerant pipeline execution.
+
+    One policy instance is threaded through a whole driver invocation
+    (all TUs, all pipeline runs), so poisoning decisions and counters
+    aggregate across the build.  Thread-safe: parallel TU compiles
+    share one policy.
+    """
+
+    crash_dir: Optional[str] = None
+    retry_function_granularity: bool = True
+    #: Passes newly poisoned in one pipeline attempt beyond which the
+    #: driver falls back a level (the -O2 -> -O1 -> -O0 ladder).
+    max_poisoned_passes: int = 2
+    pass_time_budget: float = 10.0
+    pass_step_budget: int = 5_000_000
+    reduce_testcases: bool = True
+    reduce_time_budget: float = 2.0
+    reduce_step_budget: int = 300_000
+    reduce_rounds: int = 6
+    verify_after_each: bool = True
+
+    crash_reports: list = field(default_factory=list)
+
+    def __post_init__(self):
+        import threading
+
+        self._lock = threading.Lock()
+        #: (pass, module, function-or-None) triples banned from running.
+        self._poisoned: set = set()
+        self._counters = {
+            "passes.rolled_back": 0,
+            "crashes.reported": 0,
+            "fallbacks.taken": 0,
+            "passes.poisoned": 0,
+            "passes.skipped": 0,
+            "retries.function": 0,
+            "link.retries": 0,
+        }
+
+    # -- counters -----------------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def statistics(self) -> dict[str, int]:
+        """Counters in the shape the ``-stats`` machinery expects."""
+        with self._lock:
+            return dict(self._counters)
+
+    name = "fault-policy"  # the -stats source label
+
+    # -- poisoning ----------------------------------------------------------
+
+    def poison(self, pass_name: str, module: str,
+               function: Optional[str] = None) -> None:
+        with self._lock:
+            self._poisoned.add((pass_name, module, function))
+        self.count("passes.poisoned")
+
+    def is_poisoned(self, pass_name: str, module: str,
+                    function: Optional[str] = None) -> bool:
+        with self._lock:
+            if (pass_name, module, None) in self._poisoned:
+                return True
+            return (function is not None
+                    and (pass_name, module, function) in self._poisoned)
+
+    @property
+    def poisoned_count(self) -> int:
+        with self._lock:
+            return len(self._poisoned)
+
+    # -- crash reports ------------------------------------------------------
+
+    def record(self, report: CrashReport) -> None:
+        with self._lock:
+            self.crash_reports.append(report)
+            ordinal = len(self.crash_reports)
+        self.count("crashes.reported")
+        if self.crash_dir is not None:
+            try:
+                os.makedirs(self.crash_dir, exist_ok=True)
+                stem = f"crash-{ordinal:03d}-{report.pass_name}"
+                path = os.path.join(self.crash_dir, stem + ".json")
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(report.to_dict(), handle, indent=2,
+                              sort_keys=True)
+                    handle.write("\n")
+                if report.reduced_ir is not None:
+                    with open(os.path.join(self.crash_dir, stem + ".ll"),
+                              "w", encoding="utf-8") as handle:
+                        handle.write(report.reduced_ir)
+                report.path = path
+            except OSError:
+                pass  # reporting must never become a second crash
+
+
+def _pass_name(pass_obj) -> str:
+    return getattr(pass_obj, "name", type(pass_obj).__name__)
+
+
+def _fresh_pass(pass_obj):
+    """A clean instance for probing (passes may carry run state)."""
+    try:
+        return type(pass_obj)()
+    except Exception:
+        return pass_obj
+
+
+def _run_pass_plain(pass_obj, module: Module) -> bool:
+    if hasattr(pass_obj, "run_on_module"):
+        return pass_obj.run_on_module(module)
+    changed = False
+    for function in list(module.defined_functions()):
+        if pass_obj.run_on_function(function):
+            changed = True
+    return changed
+
+
+class TransactionalPassManager(PassManager):
+    """A :class:`PassManager` in which every pass is a transaction.
+
+    ``run`` never raises for a pass failure: the failing pass is rolled
+    back, poisoned, and reported through the policy, and the remaining
+    passes still run.  (Snapshot serialization itself failing would
+    mean the *input* module is broken; that still raises, by design.)
+    """
+
+    def __init__(self, policy: FaultPolicy):
+        super().__init__(verify_each=False)
+        self.policy = policy
+        #: Passes module-poisoned during this manager's run() calls —
+        #: what the degradation ladder consults.
+        self.poisoned_in_run = 0
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for pass_obj in self.passes:
+            name = _pass_name(pass_obj)
+            if self.policy.is_poisoned(name, module.name):
+                self.policy.count("passes.skipped")
+                continue
+            start = time.perf_counter()
+            if self._transact(pass_obj, name, module):
+                changed = True
+            self.timings.record(name, time.perf_counter() - start)
+        return changed
+
+    # -- one transaction ----------------------------------------------------
+
+    def _transact(self, pass_obj, name: str, module: Module) -> bool:
+        policy = self.policy
+        snapshot = snapshot_module(module)
+        try:
+            with _Watchdog(policy.pass_time_budget, policy.pass_step_budget):
+                self._check_injection(name)
+                changed = self._run_guarded(pass_obj, name, module)
+            if policy.verify_after_each:
+                verify_module(module)
+            return changed
+        except Exception as error:
+            restore_module(module, snapshot)
+            policy.count("passes.rolled_back")
+            return self._contain(pass_obj, name, module, snapshot, error)
+
+    def _run_guarded(self, pass_obj, name: str, module: Module) -> bool:
+        """Run the pass, honouring per-function poison marks."""
+        if hasattr(pass_obj, "run_on_module"):
+            return pass_obj.run_on_module(module)
+        changed = False
+        for function in list(module.defined_functions()):
+            if self.policy.is_poisoned(name, module.name, function.name):
+                continue
+            if pass_obj.run_on_function(function):
+                changed = True
+        return changed
+
+    @staticmethod
+    def _check_injection(name: str) -> None:
+        from ..fuzz import faultinject
+
+        faultinject.check(f"pass:{name}")
+
+    # -- containment --------------------------------------------------------
+
+    def _contain(self, pass_obj, name: str, module: Module,
+                 snapshot: bytes, error: Exception) -> bool:
+        """The degraded path: retry, poison, report.  Returns whether
+        the retry changed the module."""
+        policy = self.policy
+        changed = False
+        guilty: Optional[str] = None
+        is_function_pass = (hasattr(pass_obj, "run_on_function")
+                            and not hasattr(pass_obj, "run_on_module"))
+        if is_function_pass and policy.retry_function_granularity:
+            policy.count("retries.function")
+            changed, guilty_functions = self._retry_per_function(
+                pass_obj, name, module)
+            for function_name in guilty_functions:
+                policy.poison(name, module.name, function_name)
+                self.poisoned_in_run += 1
+            guilty = guilty_functions[0] if guilty_functions else None
+        else:
+            guilty = self._bisect_module_pass(pass_obj, snapshot)
+            policy.poison(name, module.name)
+            self.poisoned_in_run += 1
+        report = CrashReport(
+            pass_name=name, module=module.name, function=guilty,
+            error_type=type(error).__name__, error_message=str(error),
+            traceback="".join(_traceback.format_exception(
+                type(error), error, error.__traceback__)),
+        )
+        if policy.reduce_testcases and self._is_deterministic(error):
+            reduced = self._reduce_testcase(pass_obj, snapshot)
+            if reduced is not None:
+                from ..core import print_module
+
+                report.reduced_ir = print_module(reduced)
+                report.reduced_instructions = sum(
+                    f.instruction_count()
+                    for f in reduced.defined_functions())
+        policy.record(report)
+        return changed
+
+    @staticmethod
+    def _is_deterministic(error: Exception) -> bool:
+        """Budget blowouts and one-shot injected faults do not
+        reproduce on a re-run, so bisecting/reducing them is wasted
+        work (and the reduction predicate would never hold)."""
+        if isinstance(error, PassBudgetExceeded):
+            return False
+        from ..fuzz.faultinject import InjectedFault
+
+        return not isinstance(error, InjectedFault)
+
+    def _retry_per_function(self, pass_obj, name: str,
+                            module: Module) -> tuple[bool, list[str]]:
+        """Re-run a failed function pass one function at a time; only
+        the functions that kill it stay unoptimized (and poisoned)."""
+        policy = self.policy
+        changed = False
+        guilty: list[str] = []
+        for function_name in [f.name for f in module.defined_functions()]:
+            function = module.functions.get(function_name)
+            if function is None or function.is_declaration:
+                continue
+            if policy.is_poisoned(name, module.name, function_name):
+                continue
+            snapshot = snapshot_module(module)
+            try:
+                with _Watchdog(policy.pass_time_budget,
+                               policy.pass_step_budget):
+                    if pass_obj.run_on_function(function):
+                        changed = True
+                if policy.verify_after_each:
+                    verify_function(function)
+            except Exception:
+                restore_module(module, snapshot)
+                guilty.append(function_name)
+        return changed, guilty
+
+    def _bisect_module_pass(self, pass_obj, snapshot: bytes) -> Optional[str]:
+        """Name the function that kills a module-level pass: run a
+        fresh instance over one-function-at-a-time skeletons of the
+        snapshot (every other body dropped) and report the first that
+        still crashes it.  Attribution only — the pass stays poisoned
+        module-wide either way."""
+        policy = self.policy
+        if not self._is_deterministic_probe_worthwhile():
+            return None
+        try:
+            names = [f.name
+                     for f in read_bytecode(snapshot).defined_functions()]
+        except Exception:
+            return None
+        for function_name in names:
+            try:
+                probe = read_bytecode(snapshot)
+                for other in list(probe.defined_functions()):
+                    if other.name != function_name:
+                        other.delete_body()
+                with _Watchdog(policy.reduce_time_budget,
+                               policy.reduce_step_budget):
+                    _run_pass_plain(_fresh_pass(pass_obj), probe)
+                verify_module(probe)
+            except PassBudgetExceeded:
+                continue
+            except Exception:
+                return function_name
+        return None
+
+    def _is_deterministic_probe_worthwhile(self) -> bool:
+        return self.policy.reduce_testcases
+
+    def _reduce_testcase(self, pass_obj, snapshot: bytes) -> Optional[Module]:
+        """Shrink the snapshot to a minimal module that still crashes
+        the pass (reusing bugpoint's delta reduction)."""
+        from ..fuzz.bugpoint import reduce_module
+
+        policy = self.policy
+
+        def crashes(candidate: Module) -> bool:
+            try:
+                with _Watchdog(policy.reduce_time_budget,
+                               policy.reduce_step_budget):
+                    _run_pass_plain(_fresh_pass(pass_obj), candidate)
+                verify_module(candidate)
+            except PassBudgetExceeded:
+                return False
+            except Exception:
+                return True
+            return False
+
+        try:
+            return reduce_module(read_bytecode(snapshot), crashes,
+                                 max_rounds=policy.reduce_rounds)
+        except Exception:
+            return None

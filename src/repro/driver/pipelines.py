@@ -15,6 +15,9 @@ from ..core.module import Module
 from ..frontend import compile_source
 from ..linker import link_modules
 from .cache import BytecodeCache
+from .passmanager import (
+    FaultPolicy, TransactionalPassManager, restore_module, snapshot_module,
+)
 from ..transforms import (
     AggressiveDCE, ConstantPropagation, DeadCodeElimination, GVN,
     InstCombine, LICM, PassManager, PromoteMem2Reg, Reassociate, SCCP,
@@ -27,9 +30,19 @@ from ..transforms.ipo import (
 )
 
 
-def standard_pipeline(level: int = 2, verify_each: bool = False) -> PassManager:
-    """The per-module pipeline for an optimization level (0-3)."""
-    manager = PassManager(verify_each=verify_each)
+def standard_pipeline(level: int = 2, verify_each: bool = False,
+                      policy: Optional[FaultPolicy] = None) -> PassManager:
+    """The per-module pipeline for an optimization level (0-3).
+
+    With a :class:`FaultPolicy` the pipeline is *transactional*: each
+    pass runs under snapshot/rollback crash containment
+    (docs/ROBUSTNESS.md) instead of letting a pass failure abort the
+    build.
+    """
+    if policy is not None:
+        manager: PassManager = TransactionalPassManager(policy)
+    else:
+        manager = PassManager(verify_each=verify_each)
     if level <= 0:
         return manager
     # SSA construction as the paper prescribes: scalar expansion, then
@@ -60,18 +73,44 @@ def standard_pipeline(level: int = 2, verify_each: bool = False) -> PassManager:
 
 
 def optimize_module(module: Module, level: int = 2,
-                    verify_each: bool = False) -> Module:
-    """Run the standard pipeline in place; returns the module."""
-    standard_pipeline(level, verify_each).run(module)
+                    verify_each: bool = False,
+                    policy: Optional[FaultPolicy] = None) -> Module:
+    """Run the standard pipeline in place; returns the module.
+
+    With a :class:`FaultPolicy`, runs the fault-tolerant degradation
+    ladder instead of the bare pipeline: each attempt executes
+    transactionally, and when an attempt poisons more passes than
+    ``policy.max_poisoned_passes`` the module is restored to its
+    pre-optimization state and the next lower level is tried
+    (``-O2 -> -O1 -> -O0``), counting ``fallbacks.taken``.  ``-O0`` is
+    the floor: the unoptimized module is always correct.
+    """
+    if policy is None:
+        standard_pipeline(level, verify_each).run(module)
+        return module
+    pristine = snapshot_module(module)
+    for attempt in range(level, -1, -1):
+        if attempt == 0:
+            restore_module(module, pristine)
+            return module
+        manager = standard_pipeline(attempt, policy=policy)
+        manager.run(module)
+        if manager.poisoned_in_run <= policy.max_poisoned_passes:
+            return module
+        restore_module(module, pristine)
+        policy.count("fallbacks.taken")
     return module
 
 
-def link_time_optimize(module: Module, level: int = 2,
-                       internalize: bool = True,
-                       preserved: Sequence[str] = ("main",),
-                       verify_each: bool = False) -> Module:
-    """The link-time interprocedural optimizer (paper section 3.3)."""
-    manager = PassManager(verify_each=verify_each)
+def lto_pipeline(internalize: bool = True,
+                 preserved: Sequence[str] = ("main",),
+                 verify_each: bool = False,
+                 policy: Optional[FaultPolicy] = None) -> PassManager:
+    """The interprocedural pass sequence of the link-time optimizer."""
+    if policy is not None:
+        manager: PassManager = TransactionalPassManager(policy)
+    else:
+        manager = PassManager(verify_each=verify_each)
     if internalize:
         manager.add(Internalize(preserved))
     manager.add(Devirtualize())
@@ -81,13 +120,23 @@ def link_time_optimize(module: Module, level: int = 2,
     manager.add(DeadGlobalElimination())
     manager.add(PruneExceptionHandlers())
     manager.add(HeapToStackPromotion())
+    return manager
+
+
+def link_time_optimize(module: Module, level: int = 2,
+                       internalize: bool = True,
+                       preserved: Sequence[str] = ("main",),
+                       verify_each: bool = False,
+                       policy: Optional[FaultPolicy] = None) -> Module:
+    """The link-time interprocedural optimizer (paper section 3.3)."""
+    manager = lto_pipeline(internalize, preserved, verify_each, policy)
     manager.run(module)
     if level > 0:
         # A scalar cleanup round over the post-IPO bodies, then one more
         # IPO round to exploit what the cleanup exposed.
-        optimize_module(module, level, verify_each)
+        optimize_module(module, level, verify_each, policy)
         manager.run(module)
-        optimize_module(module, min(level, 2), verify_each)
+        optimize_module(module, min(level, 2), verify_each, policy)
     return module
 
 
@@ -141,8 +190,13 @@ def lint_whole_program(sources: Sequence[str],
             if text is not None:
                 try:
                     tables[index] = ModuleAnalysisSummaries.from_json(text)
-                except (ValueError, KeyError):
-                    tables[index] = None  # stale format: recompute
+                except Exception:
+                    # Unparseable sidecar (corruption, stale or *newer*
+                    # format): degrade to recomputing this TU's summary
+                    # and evict the bad entry — counted in -stats
+                    # (``summary-evictions``), never an abort.
+                    tables[index] = None
+                    cache.evict_text(keys[index])
     result = run_whole_program(list(zip(filenames, modules)), checks,
                                tables=tables)
     if cache is not None:
@@ -153,7 +207,8 @@ def lint_whole_program(sources: Sequence[str],
 
 def _compile_translation_unit(source: str, tu_name: str, level: int,
                               verify_each: bool,
-                              cache: Optional[BytecodeCache]) -> Module:
+                              cache: Optional[BytecodeCache],
+                              policy: Optional[FaultPolicy] = None) -> Module:
     """One TU through front-end + per-module optimization, or the cache.
 
     A hit deserializes the stored bytecode instead of running the
@@ -168,7 +223,7 @@ def _compile_translation_unit(source: str, tu_name: str, level: int,
             module.name = tu_name
             return module
     module = compile_source(source, tu_name)
-    optimize_module(module, level, verify_each)
+    optimize_module(module, level, verify_each, policy)
     if cache is not None:
         cache.store(key, module)
     return module
@@ -177,7 +232,9 @@ def _compile_translation_unit(source: str, tu_name: str, level: int,
 def compile_translation_units(sources: Sequence[str], name: str = "program",
                               level: int = 2, verify_each: bool = False,
                               cache: Optional[BytecodeCache] = None,
-                              jobs: int = 1) -> list[Module]:
+                              jobs: int = 1,
+                              policy: Optional[FaultPolicy] = None,
+                              ) -> list[Module]:
     """The batch front of the driver: every TU to optimized IR.
 
     Translation units are independent until link time, so with
@@ -190,21 +247,42 @@ def compile_translation_units(sources: Sequence[str], name: str = "program",
         with ThreadPoolExecutor(max_workers=jobs) as executor:
             return list(executor.map(
                 lambda item: _compile_translation_unit(
-                    item[1], f"{name}.tu{item[0]}", level, verify_each, cache),
+                    item[1], f"{name}.tu{item[0]}", level, verify_each,
+                    cache, policy),
                 enumerate(sources),
             ))
     return [
         _compile_translation_unit(source, f"{name}.tu{index}", level,
-                                  verify_each, cache)
+                                  verify_each, cache, policy)
         for index, source in enumerate(sources)
     ]
+
+
+def _link_with_retry(modules: Sequence[Module], name: str,
+                     policy: Optional[FaultPolicy]) -> Module:
+    """Link, retrying once under a fault policy.
+
+    A transient link failure (an injected symbol clash, a racing writer
+    of some input) is containable by simply linking again from the
+    unchanged input modules; a *persistent* conflict fails both
+    attempts and propagates — that is a program error, not a toolchain
+    fault.
+    """
+    try:
+        return link_modules(modules, name)
+    except Exception:
+        if policy is None:
+            raise
+        policy.count("link.retries")
+        return link_modules(modules, name)
 
 
 def compile_and_link(sources: Iterable[str], name: str = "program",
                      level: int = 2, lto: bool = True,
                      verify_each: bool = False, analyze: bool = False,
                      cache: Optional[BytecodeCache] = None,
-                     jobs: int = 1) -> Module:
+                     jobs: int = 1,
+                     policy: Optional[FaultPolicy] = None) -> Module:
     """Front-end + per-module optimization + link (+ link-time IPO).
 
     ``sources`` are LC translation units.  This is the paper's Figure 4
@@ -221,13 +299,20 @@ def compile_and_link(sources: Iterable[str], name: str = "program",
     and are deserialized from stored bytecode instead.  ``jobs`` sets
     the number of concurrent TU compilations; both are output-invariant
     — the linked module is identical with or without them.
+
+    ``policy`` turns on fault-tolerant execution end to end: every
+    transform pass runs transactionally, a failing pass is rolled back
+    and reported instead of aborting the build, too many failures step
+    the level down (-O2 -> -O1 -> -O0), and a transiently failing link
+    is retried once.  See docs/ROBUSTNESS.md.
     """
     sources = list(sources)
     modules = compile_translation_units(sources, name, level, verify_each,
-                                        cache, jobs)
-    linked = link_modules(modules, name)
+                                        cache, jobs, policy)
+    linked = _link_with_retry(modules, name, policy)
     if lto:
-        link_time_optimize(linked, level, verify_each=verify_each)
+        link_time_optimize(linked, level, verify_each=verify_each,
+                           policy=policy)
     if analyze == "whole-program":
         # lint-wp: the summary-based interprocedural suite over the
         # pre-link TUs (per-file attribution), attached to the program.

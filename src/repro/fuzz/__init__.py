@@ -12,6 +12,10 @@ from .bugpoint import (
     BisectionResult, BugpointResult, bisect_passes, bugpoint_source,
     clone_module, reduce_module,
 )
+from .faultinject import (
+    FaultMatrixReport, FaultOutcome, FaultPlan, InjectedFault, injected,
+    registered_sites, run_fault_matrix,
+)
 from .generator import ProgramGenerator, generate_program
 from .harness import (
     Divergence, FuzzReport, HarnessConfig, Outcome, ProgramResult,
@@ -19,9 +23,11 @@ from .harness import (
 )
 
 __all__ = [
-    "BisectionResult", "BugpointResult", "Divergence", "FuzzReport",
-    "HarnessConfig", "Outcome", "ProgramGenerator", "ProgramResult",
+    "BisectionResult", "BugpointResult", "Divergence", "FaultMatrixReport",
+    "FaultOutcome", "FaultPlan", "FuzzReport", "HarnessConfig",
+    "InjectedFault", "Outcome", "ProgramGenerator", "ProgramResult",
     "bisect_passes", "bugpoint_source", "check_program", "clone_module",
-    "fuzz", "generate_program", "reduce_module", "run_interpreter",
+    "fuzz", "generate_program", "injected", "reduce_module",
+    "registered_sites", "run_fault_matrix", "run_interpreter",
     "run_machine",
 ]

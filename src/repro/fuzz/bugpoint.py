@@ -163,6 +163,35 @@ def _force_branches(module: Module,
     return module, changed
 
 
+def _instruction_count(module: Module) -> int:
+    return sum(f.instruction_count() for f in module.defined_functions())
+
+
+def _try_simplify_cfg(module: Module,
+                      interesting: Predicate) -> tuple[Module, bool]:
+    """Collapse the branch chains the other reducers leave behind.
+
+    Instruction deletion empties blocks but never touches terminators,
+    so a reduced function is often a long ``br`` daisy-chain.  One
+    guarded SimplifyCFG sweep merges it away — guarded, because the
+    pass under reduction may *be* SimplifyCFG (or the chain may tickle
+    the same bug), in which case the candidate is simply rejected.
+    """
+    candidate = clone_module(module)
+    try:
+        from ..transforms import SimplifyCFG
+
+        for function in list(candidate.defined_functions()):
+            SimplifyCFG().run_on_function(function)
+        verify_module(candidate)
+    except Exception:
+        return module, False
+    if (_instruction_count(candidate) < _instruction_count(module)
+            and _still_interesting(candidate, interesting)):
+        return candidate, True
+    return module, False
+
+
 def _replacements(value_type, function) -> list:
     """Candidate stand-ins for a deleted instruction's value.
 
@@ -236,7 +265,7 @@ def reduce_module(module: Module, interesting: Predicate,
     for _ in range(max_rounds):
         any_change = False
         for reducer in (_try_drop_function_bodies, _force_branches,
-                        _try_delete_instructions):
+                        _try_delete_instructions, _try_simplify_cfg):
             module, changed = reducer(module, interesting)
             any_change = any_change or changed
         if not any_change:

@@ -31,6 +31,9 @@ def link_modules(modules: Sequence[Module], name: str = "linked") -> Module:
     """
     if not modules:
         raise LinkError("nothing to link")
+    from ..fuzz import faultinject
+
+    faultinject.check("linker.symbol-clash")
     linked = Module(name, modules[0].data_layout)
     linker = _Linker(linked)
     for module in modules:

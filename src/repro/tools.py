@@ -69,6 +69,57 @@ def _write_module(module: Module, path: str, binary: bool) -> None:
                 handle.write(text)
 
 
+def _add_fault_arguments(parser) -> None:
+    """The shared fault-tolerance flags (see docs/ROBUSTNESS.md)."""
+    parser.add_argument("--fault-tolerant", action="store_true",
+                        dest="fault_tolerant",
+                        help="run passes transactionally: a crashing pass "
+                             "is rolled back, poisoned, and reported "
+                             "instead of aborting the build")
+    parser.add_argument("--crash-dir", default=None, dest="crash_dir",
+                        help="write structured crash reports (+ reduced "
+                             "IR testcases) here; implies --fault-tolerant")
+    parser.add_argument("--fault-inject", default=None, dest="fault_inject",
+                        metavar="SITE:SEED",
+                        help="arm one seeded single-shot fault (see "
+                             "lc-fuzz --list-fault-sites); implies "
+                             "--fault-tolerant")
+
+
+def _parse_fault_spec(spec: str, parser) -> tuple:
+    """``SITE`` or ``SITE:SEED`` -> (site, seed).  Site names may
+    themselves contain a colon (``pass:gvn``), so the seed is only
+    split off when the last segment is an integer."""
+    site, _, tail = spec.rpartition(":")
+    if site and tail.lstrip("-").isdigit():
+        return site, int(tail)
+    return spec, 0
+
+
+def _make_fault_policy(args):
+    """A FaultPolicy when any fault flag was given, else None."""
+    if not (args.fault_tolerant or args.crash_dir or args.fault_inject):
+        return None
+    from .driver import FaultPolicy
+
+    return FaultPolicy(crash_dir=args.crash_dir)
+
+
+def _armed(args, parser):
+    """Context manager: the requested injection (or nothing) armed."""
+    from contextlib import nullcontext
+
+    if not args.fault_inject:
+        return nullcontext()
+    from .fuzz import faultinject
+
+    site, seed = _parse_fault_spec(args.fault_inject, parser)
+    if site not in faultinject.registered_sites():
+        parser.error(f"unknown fault site {site!r} "
+                     "(see lc-fuzz --list-fault-sites)")
+    return faultinject.injected(site, seed)
+
+
 def lc_cc(argv=None) -> int:
     """Compile LC source to IR."""
     parser = argparse.ArgumentParser(
@@ -90,18 +141,30 @@ def lc_cc(argv=None) -> int:
                         help="compile translation units with N threads")
     parser.add_argument("-stats", action="store_true", dest="stats",
                         help="print cache hit/miss statistics to stderr")
+    _add_fault_arguments(parser)
     args = parser.parse_args(argv)
     sources = [_read_text(path) for path in args.sources]
     cache = BytecodeCache(args.cache_dir) if args.cache_dir else None
-    if len(sources) == 1 and not args.lto and cache is None:
-        module = compile_source(sources[0], "module")
-        optimize_module(module, args.level)
-    else:
-        module = compile_and_link(sources, "program", args.level, args.lto,
-                                  cache=cache, jobs=args.jobs)
+    policy = _make_fault_policy(args)
+    with _armed(args, parser):
+        if len(sources) == 1 and not args.lto and cache is None \
+                and policy is None:
+            module = compile_source(sources[0], "module")
+            optimize_module(module, args.level)
+        else:
+            module = compile_and_link(sources, "program", args.level,
+                                      args.lto, cache=cache, jobs=args.jobs,
+                                      policy=policy)
     verify_module(module)
-    if args.stats and cache is not None:
-        _print_stats({cache.name: cache.statistics()})
+    if args.stats:
+        stats = {}
+        if cache is not None:
+            stats[cache.name] = cache.statistics()
+        if policy is not None:
+            stats[policy.name] = policy.statistics()
+        _print_stats(stats)
+    for report in (policy.crash_reports if policy is not None else ()):
+        print(f"lc-cc: contained: {report.describe()}", file=sys.stderr)
     _write_module(module, args.o, args.binary)
     return 0
 
@@ -193,28 +256,44 @@ def lc_opt(argv=None) -> int:
     parser.add_argument("-time-passes", action="store_true",
                         dest="time_passes",
                         help="print per-pass wall-clock timings to stderr")
+    _add_fault_arguments(parser)
     args = parser.parse_args(argv)
     module = _read_module(args.input)
+    policy = _make_fault_policy(args)
     managers = []
-    if args.level is not None:
-        from .driver.pipelines import standard_pipeline
+    with _armed(args, parser):
+        if args.level is not None:
+            from .driver.pipelines import optimize_module as _optimize
 
-        manager = standard_pipeline(args.level, args.verify_each)
-        manager.run(module)
-        managers.append(manager)
-    if args.passes:
-        from .transforms import PassManager
+            if policy is not None:
+                # The full ladder: transactional attempts, -O fallback.
+                _optimize(module, args.level, policy=policy)
+            else:
+                from .driver.pipelines import standard_pipeline
 
-        manager = PassManager(verify_each=args.verify_each)
-        registry = _pass_registry()
-        for name in args.passes.split(","):
-            name = name.strip()
-            if name not in registry:
-                parser.error(f"unknown pass {name!r}")
-            manager.add(registry[name]())
-        manager.run(module)
-        managers.append(manager)
+                manager = standard_pipeline(args.level, args.verify_each)
+                manager.run(module)
+                managers.append(manager)
+        if args.passes:
+            if policy is not None:
+                from .driver import TransactionalPassManager
+
+                manager = TransactionalPassManager(policy)
+            else:
+                from .transforms import PassManager
+
+                manager = PassManager(verify_each=args.verify_each)
+            registry = _pass_registry()
+            for name in args.passes.split(","):
+                name = name.strip()
+                if name not in registry:
+                    parser.error(f"unknown pass {name!r}")
+                manager.add(registry[name]())
+            manager.run(module)
+            managers.append(manager)
     verify_module(module)
+    for report in (policy.crash_reports if policy is not None else ()):
+        print(f"lc-opt: contained: {report.describe()}", file=sys.stderr)
     for manager in managers:
         for pass_obj in manager.passes:
             for diag in getattr(pass_obj, "diagnostics", ()):
@@ -222,6 +301,8 @@ def lc_opt(argv=None) -> int:
     if args.stats:
         for manager in managers:
             _print_stats(manager.statistics())
+        if policy is not None:
+            _print_stats({policy.name: policy.statistics()})
     if args.time_passes:
         for manager in managers:
             report = manager.timings.report()
@@ -539,12 +620,35 @@ def lc_fuzz(argv=None) -> int:
                         help="print the program for one seed and exit")
     parser.add_argument("--save-failing", metavar="DIR",
                         help="write each divergent program to DIR/<seed>.lc")
+    parser.add_argument("--fault-matrix", action="store_true",
+                        dest="fault_matrix",
+                        help="run the single-fault injection matrix: every "
+                             "registered site armed once against "
+                             "fixed-seed programs (docs/ROBUSTNESS.md)")
+    parser.add_argument("--list-fault-sites", action="store_true",
+                        dest="list_fault_sites",
+                        help="print the fault-site catalogue and exit")
+    parser.add_argument("--fault-inject", default=None, dest="fault_inject",
+                        metavar="SITE:SEED",
+                        help="restrict --fault-matrix to one site "
+                             "(implies --fault-matrix)")
+    parser.add_argument("--crash-dir", default=None, dest="crash_dir",
+                        help="keep crash reports from --fault-matrix here")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
 
     from .fuzz import HarnessConfig, fuzz
     from .fuzz.generator import generate_program
 
+    if args.list_fault_sites:
+        from .fuzz import faultinject
+
+        for site, description in sorted(
+                faultinject.registered_sites().items()):
+            print(f"{site:24s} {description}")
+        return 0
+    if args.fault_matrix or args.fault_inject:
+        return _run_fault_matrix_cli(args, parser)
     if args.emit_source is not None:
         sys.stdout.write(generate_program(args.emit_source, args.size))
         return 0
@@ -573,6 +677,31 @@ def lc_fuzz(argv=None) -> int:
               f"{report.skipped} skipped (step limit), "
               f"{len(report.divergent)} divergent", file=sys.stderr)
     return 1 if report.divergent else 0
+
+
+def _run_fault_matrix_cli(args, parser) -> int:
+    """lc-fuzz --fault-matrix: the single-fault robustness sweep."""
+    from .fuzz import faultinject
+
+    sites = None
+    fault_seed = 12345
+    if args.fault_inject:
+        site, seed = _parse_fault_spec(args.fault_inject, parser)
+        if site not in faultinject.registered_sites():
+            parser.error(f"unknown fault site {site!r} "
+                         "(see --list-fault-sites)")
+        sites = [site]
+        if seed:
+            fault_seed = seed
+    report = faultinject.run_fault_matrix(
+        size=args.size, sites=sites, fault_seed=fault_seed,
+        step_limit=args.step_limit, crash_dir=args.crash_dir)
+    if not args.quiet:
+        for outcome in report.outcomes:
+            print(outcome.describe(), file=sys.stderr)
+    print(f"lc-fuzz: fault matrix: {len(report.outcomes)} cells, "
+          f"{len(report.failures)} failing", file=sys.stderr)
+    return 0 if report.clean else 1
 
 
 def lc_bugpoint(argv=None) -> int:

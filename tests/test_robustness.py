@@ -1,0 +1,622 @@
+"""Tests for fault-tolerant compilation (docs/ROBUSTNESS.md).
+
+The contract under test: a lifelong compiler must outlive its own
+bugs.  A crashing pass is a rolled-back transaction with a crash
+report, not an abort; corrupted artifacts (bytecode, cache entries,
+summary sidecars) cost recompilation, never correctness; and every
+registered fault-injection site, armed one at a time, still yields a
+program with the clean ``-O0`` behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+
+import pytest
+
+from repro.bitcode import (
+    BytecodeError, read_bytecode, write_bytecode,
+)
+from repro.core import parse_module, print_module, verify_module
+from repro.driver import (
+    BytecodeCache, CrashReport, FaultPolicy, LifelongSession,
+    TransactionalPassManager, compile_and_link, optimize_module,
+    restore_module, snapshot_module,
+)
+from repro.driver.passmanager import PassBudgetExceeded
+from repro.driver.pipelines import lint_whole_program
+from repro.frontend import compile_source
+from repro.fuzz import (
+    InjectedFault, generate_program, registered_sites, run_fault_matrix,
+    run_interpreter,
+)
+from repro.fuzz import faultinject
+from repro.transforms import PromoteMem2Reg, SimplifyCFG
+
+SRC = """
+extern int print_int(int x);
+int add(int x, int y) { return x + y; }
+int victim(int n) {
+  int total;
+  int i;
+  total = 0;
+  for (i = 0; i < n; i = i + 1) { total = add(total, i); }
+  return total;
+}
+int main() { print_int(victim(7)); return victim(3); }
+"""
+
+STEP_LIMIT = 1_000_000
+
+
+def fresh_module(name="m"):
+    return compile_source(SRC, name)
+
+
+def reference_outcome():
+    return run_interpreter(fresh_module("ref"), STEP_LIMIT)
+
+
+class EvilFunctionPass:
+    """Raises on exactly one function; optimizes nothing."""
+
+    name = "evil"
+
+    def __init__(self, target: str = "main"):
+        self.target = target
+
+    def run_on_function(self, function):
+        if function.name == self.target:
+            raise RuntimeError("planted bug")
+        return False
+
+
+class EvilModulePass:
+    name = "evil-module"
+
+    def run_on_module(self, module):
+        for function in module.defined_functions():
+            if function.name == "victim":
+                raise RuntimeError("module pass planted bug")
+        return False
+
+
+class CorruptingPass:
+    """Breaks the IR without raising: drops a terminator."""
+
+    name = "corrupting"
+
+    def run_on_function(self, function):
+        if function.name == "victim":
+            function.blocks[0].instructions[-1].erase_from_parent()
+            return True
+        return False
+
+
+class SpinPass:
+    """Loops forever, making Python-level calls the watchdog can see."""
+
+    name = "spin"
+
+    def run_on_function(self, function):
+        def poke():
+            return 0
+
+        while True:
+            poke()
+
+
+# ----------------------------------------------------------------------
+# The transactional pass manager (tentpole part 1)
+# ----------------------------------------------------------------------
+
+class TestTransactionalPassManager:
+    def test_throwing_pass_rolls_back_and_pipeline_continues(self, tmp_path):
+        """The golden crash-containment test of ISSUE 5."""
+        policy = FaultPolicy(crash_dir=str(tmp_path))
+        module = fresh_module()
+        manager = TransactionalPassManager(policy)
+        manager.add(SimplifyCFG())
+        manager.add(EvilFunctionPass("main"))
+        manager.add(PromoteMem2Reg())
+        manager.run(module)
+
+        verify_module(module)
+        assert run_interpreter(module, STEP_LIMIT) == reference_outcome()
+        stats = policy.statistics()
+        assert stats["passes.rolled_back"] >= 1
+        assert stats["crashes.reported"] == 1
+
+        (report,) = policy.crash_reports
+        assert report.pass_name == "evil"
+        assert report.function == "main"
+        assert report.error_type == "RuntimeError"
+        assert "planted bug" in report.traceback
+        # The reduced testcase: verifier-clean and tiny.
+        assert report.reduced_instructions is not None
+        assert report.reduced_instructions <= 15
+        reduced = parse_module(report.reduced_ir)
+        verify_module(reduced)
+        # ... and it still crashes the pass.
+        with pytest.raises(RuntimeError):
+            for function in reduced.defined_functions():
+                EvilFunctionPass("main").run_on_function(function)
+
+    def test_crash_report_written_to_crash_dir(self, tmp_path):
+        policy = FaultPolicy(crash_dir=str(tmp_path))
+        module = fresh_module()
+        manager = TransactionalPassManager(policy)
+        manager.add(EvilFunctionPass("main"))
+        manager.run(module)
+
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["crash-001-evil.json", "crash-001-evil.ll"]
+        with open(tmp_path / "crash-001-evil.json") as handle:
+            record = json.load(handle)
+        assert record["pass"] == "evil"
+        assert record["function"] == "main"
+        assert record["error_type"] == "RuntimeError"
+        reduced = parse_module((tmp_path / "crash-001-evil.ll").read_text())
+        verify_module(reduced)
+
+    def test_function_granularity_retry_spares_innocents(self):
+        """Other functions keep their optimization; only the guilty
+        function is poisoned for the failing pass."""
+        policy = FaultPolicy(reduce_testcases=False)
+        module = fresh_module()
+        manager = TransactionalPassManager(policy)
+        manager.add(EvilFunctionPass("victim"))
+        manager.run(module)
+
+        assert policy.is_poisoned("evil", "m", "victim")
+        assert not policy.is_poisoned("evil", "m", "main")
+        assert not policy.is_poisoned("evil", "m")  # not module-wide
+        assert policy.statistics()["retries.function"] == 1
+
+    def test_poisoned_function_is_skipped_on_rerun(self):
+        policy = FaultPolicy(reduce_testcases=False)
+        module = fresh_module()
+        manager = TransactionalPassManager(policy)
+        manager.add(EvilFunctionPass("victim"))
+        manager.run(module)
+        manager.run(module)  # the second run must not crash again
+        assert policy.statistics()["crashes.reported"] == 1
+
+    def test_module_pass_bisection_names_guilty_function(self):
+        policy = FaultPolicy()
+        module = fresh_module()
+        manager = TransactionalPassManager(policy)
+        manager.add(EvilModulePass())
+        manager.run(module)
+
+        (report,) = policy.crash_reports
+        assert report.pass_name == "evil-module"
+        assert report.function == "victim"
+        assert policy.is_poisoned("evil-module", "m")  # module-wide
+
+    def test_verifier_failure_rolls_back(self):
+        """A pass that silently corrupts the IR is caught by the
+        per-transaction verify and undone."""
+        policy = FaultPolicy(reduce_testcases=False)
+        module = fresh_module()
+        before = print_module(module)
+        manager = TransactionalPassManager(policy)
+        manager.add(CorruptingPass())
+        manager.run(module)
+
+        verify_module(module)
+        assert policy.statistics()["passes.rolled_back"] >= 1
+        # Rollback + failed per-function retry: the module is pristine.
+        assert print_module(module) == before
+
+    def test_budget_exhaustion_preempts_runaway_pass(self):
+        policy = FaultPolicy(pass_step_budget=5_000, pass_time_budget=5.0,
+                             reduce_testcases=False)
+        module = fresh_module()
+        manager = TransactionalPassManager(policy)
+        manager.add(SpinPass())
+        manager.run(module)
+
+        verify_module(module)
+        assert run_interpreter(module, STEP_LIMIT) == reference_outcome()
+        assert any(r.error_type == "PassBudgetExceeded"
+                   for r in policy.crash_reports)
+        # Budget blowouts are not reproducible probes: no reduction.
+        assert all(r.reduced_ir is None for r in policy.crash_reports)
+
+    def test_rollback_restores_module_in_place(self):
+        module = fresh_module()
+        snapshot = snapshot_module(module)
+        before = print_module(module)
+        module.functions["main"].delete_body()
+        assert print_module(module) != before
+        restore_module(module, snapshot)
+        assert print_module(module) == before
+        verify_module(module)
+        for function in module.functions.values():
+            assert function.parent is module
+
+
+# ----------------------------------------------------------------------
+# The degradation ladder (tentpole part 2)
+# ----------------------------------------------------------------------
+
+class TestDegradationLadder:
+    def test_falls_back_to_level_without_the_bad_pass(self, monkeypatch):
+        """GVN (an -O2 pass) always crashing: -O2 is abandoned, -O1
+        succeeds, and the output is still correct."""
+        from repro.transforms import gvn as gvn_module
+
+        def boom(self, function):
+            raise RuntimeError("gvn is broken today")
+
+        monkeypatch.setattr(gvn_module.GVN, "run_on_function", boom)
+        policy = FaultPolicy(max_poisoned_passes=0, reduce_testcases=False)
+        module = fresh_module()
+        optimize_module(module, 2, policy=policy)
+
+        verify_module(module)
+        assert run_interpreter(module, STEP_LIMIT) == reference_outcome()
+        assert policy.statistics()["fallbacks.taken"] >= 1
+
+    def test_retry_after_fallback_skips_poisoned_work(self, monkeypatch):
+        """SimplifyCFG (present at every level >= 1) always crashing:
+        the first attempt is abandoned, and the retry succeeds because
+        the poison marks persist — the broken pass is skipped, every
+        healthy pass still runs.  Strictly better than dropping to -O0."""
+        from repro.transforms import simplifycfg as cfg_module
+
+        def boom(self, function):
+            raise RuntimeError("simplifycfg is broken today")
+
+        monkeypatch.setattr(cfg_module.SimplifyCFG, "run_on_function", boom)
+        policy = FaultPolicy(max_poisoned_passes=0, reduce_testcases=False)
+        module = fresh_module()
+        optimize_module(module, 2, policy=policy)
+
+        assert policy.statistics()["fallbacks.taken"] >= 1
+        assert policy.statistics()["crashes.reported"] >= 1
+        verify_module(module)
+        assert run_interpreter(module, STEP_LIMIT) == reference_outcome()
+        # The healthy passes did run on the retry: SSA got built.
+        assert "alloca" not in print_module(module)
+
+    def test_policy_threads_through_compile_and_link(self, monkeypatch):
+        from repro.transforms import gvn as gvn_module
+
+        def boom(self, function):
+            raise RuntimeError("gvn is broken today")
+
+        monkeypatch.setattr(gvn_module.GVN, "run_on_function", boom)
+        policy = FaultPolicy(reduce_testcases=False)
+        module = compile_and_link([SRC], "program", 2, policy=policy)
+        verify_module(module)
+        assert run_interpreter(module, STEP_LIMIT) == reference_outcome()
+        assert policy.statistics()["passes.rolled_back"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Bytecode reader hardening (satellite)
+# ----------------------------------------------------------------------
+
+class TestBytecodeHardening:
+    def _blob(self):
+        return write_bytecode(fresh_module(), strip_names=False)
+
+    def test_thousand_byte_flips_raise_only_bytecode_error(self):
+        """The ISSUE 5 acceptance criterion: 1000 fixed-seed single
+        byte-flip mutations — nothing but BytecodeError ever escapes."""
+        blob = self._blob()
+        rng = random.Random(0xC0FFEE)
+        rejected = decoded = 0
+        for _ in range(1000):
+            mutant = bytearray(blob)
+            mutant[rng.randrange(len(mutant))] ^= 1 << rng.randrange(8)
+            try:
+                read_bytecode(bytes(mutant))
+                decoded += 1
+            except BytecodeError:
+                rejected += 1
+            # Any other exception type propagates and fails the test.
+        assert rejected + decoded == 1000
+        assert rejected > 100  # the magic/header/counts actually bite
+
+    def test_every_truncation_raises_bytecode_error(self):
+        blob = self._blob()
+        for cut in range(len(blob)):
+            with pytest.raises(BytecodeError):
+                read_bytecode(blob[:cut])
+
+    def test_error_carries_offset_and_section(self):
+        blob = self._blob()
+        with pytest.raises(BytecodeError) as info:
+            read_bytecode(blob[: len(blob) // 2])
+        assert info.value.offset is not None
+        assert info.value.section is not None
+        rendered = str(info.value)
+        assert "byte offset" in rendered and "section" in rendered
+
+    def test_newer_version_is_structured_error(self):
+        blob = bytearray(self._blob())
+        blob[4] = 99  # the version byte, right after the magic
+        with pytest.raises(BytecodeError, match="version"):
+            read_bytecode(bytes(blob))
+
+    def test_garbage_is_structured_error(self):
+        for garbage in (b"", b"ll", b"not bytecode at all", b"llvm"):
+            with pytest.raises(BytecodeError):
+                read_bytecode(garbage)
+
+
+# ----------------------------------------------------------------------
+# Cache robustness (satellite)
+# ----------------------------------------------------------------------
+
+class TestCacheRobustness:
+    def _warm(self, tmp_path):
+        cache = BytecodeCache(str(tmp_path))
+        key = cache.key(SRC, 1)
+        cache.store(key, fresh_module())
+        return cache, key
+
+    def _entry_path(self, tmp_path, key):
+        return os.path.join(str(tmp_path), f"{key}.bc")
+
+    def test_flipped_byte_is_miss_and_eviction(self, tmp_path):
+        cache, key = self._warm(tmp_path)
+        path = self._entry_path(tmp_path, key)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0x10
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+
+        assert cache.load(key) is None
+        assert cache.misses == 1
+        assert cache.evictions == 1
+        assert not os.path.exists(path)  # evicted, next store re-creates
+
+    def test_truncated_entry_is_miss_and_eviction(self, tmp_path):
+        cache, key = self._warm(tmp_path)
+        path = self._entry_path(tmp_path, key)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 3])
+        assert cache.load(key) is None
+        assert cache.evictions == 1
+
+    def test_newer_toolchain_entry_is_miss_not_raise(self, tmp_path):
+        """An entry whose *payload* was written by a newer bytecode
+        format passes the integrity frame but fails the decoder with a
+        version error — still a miss + eviction, never a raise."""
+        cache, key = self._warm(tmp_path)
+        payload = bytearray(write_bytecode(fresh_module(),
+                                           strip_names=False))
+        payload[4] = 99  # future version byte
+        cache.store_bytes(key, bytes(payload))  # correctly framed
+        assert cache.load(key) is None
+        assert cache.evictions == 1
+
+    def test_foreign_file_is_miss(self, tmp_path):
+        cache = BytecodeCache(str(tmp_path))
+        key = cache.key(SRC, 1)
+        with open(self._entry_path(tmp_path, key), "wb") as handle:
+            handle.write(b"this was never a cache entry")
+        assert cache.load(key) is None
+
+    def test_concurrent_writer_and_reader_share_one_directory(self, tmp_path):
+        """Two cache handles (as two compiler processes would hold) on
+        one directory: racing store/load never raises and never yields
+        a wrong module — only a hit with the right content or a miss."""
+        writer_cache = BytecodeCache(str(tmp_path))
+        reader_cache = BytecodeCache(str(tmp_path))
+        module = fresh_module()
+        expected = print_module(module)
+        key = writer_cache.key(SRC, 1)
+        errors: list = []
+
+        def writer():
+            try:
+                for _ in range(150):
+                    writer_cache.store(key, module)
+                    writer_cache.invalidate(key)
+            except Exception as error:  # pragma: no cover - the assert
+                errors.append(error)
+
+        def reader():
+            try:
+                for _ in range(300):
+                    loaded = reader_cache.load(key)
+                    if loaded is not None:
+                        assert print_module(loaded) == expected
+            except Exception as error:  # pragma: no cover - the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+# ----------------------------------------------------------------------
+# Summary-sidecar robustness (satellite)
+# ----------------------------------------------------------------------
+
+class TestSidecarRobustness:
+    def test_corrupt_sidecar_degrades_to_recompute(self, tmp_path):
+        cache = BytecodeCache(str(tmp_path))
+        clean = lint_whole_program([SRC], level=2, cache=cache)
+        clean_rendered = [d.render() for d in clean.diagnostics]
+        sidecars = [n for n in os.listdir(tmp_path) if n.endswith(".json")]
+        assert sidecars, "warm lint should have stored summary sidecars"
+        for name in sidecars:
+            with open(os.path.join(str(tmp_path), name), "w") as handle:
+                handle.write("\x00 this is not json {")
+
+        relint = lint_whole_program([SRC], level=2, cache=cache)
+        assert [d.render() for d in relint.diagnostics] == clean_rendered
+        assert cache.summary_evictions >= 1
+        assert cache.statistics()["summary-evictions"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Fault injection (tentpole part 3)
+# ----------------------------------------------------------------------
+
+class TestFaultInjection:
+    def test_site_catalogue_tracks_the_real_pipelines(self):
+        sites = registered_sites()
+        for static in ("cache.read", "bytecode.truncate", "bytecode.corrupt",
+                       "sidecar.corrupt", "linker.symbol-clash"):
+            assert static in sites
+        for pass_site in ("pass:gvn", "pass:simplifycfg", "pass:inline",
+                          "pass:internalize"):
+            assert pass_site in sites
+
+    def test_arming_an_unknown_site_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faultinject.arm("pass:not-a-pass")
+        faultinject.disarm()
+
+    def test_plans_are_single_shot(self):
+        with faultinject.injected("pass:gvn", 3) as plan:
+            with pytest.raises(InjectedFault):
+                faultinject.check("pass:gvn")
+            faultinject.check("pass:gvn")  # second hit: disarmed
+            assert plan.fired
+        faultinject.check("pass:gvn")  # context exited: nothing armed
+
+    def test_mangling_is_deterministic(self):
+        data = bytes(range(64))
+        with faultinject.injected("cache.read", 7):
+            first = faultinject.mangle("cache.read", data)
+        with faultinject.injected("cache.read", 7):
+            second = faultinject.mangle("cache.read", data)
+        assert first == second != data
+
+    def test_injected_pass_fault_is_transient_not_poisonous(self):
+        """A single-shot fault fails one transaction; the per-function
+        retry succeeds, so nothing gets poisoned and nothing degrades."""
+        policy = FaultPolicy(reduce_testcases=False)
+        with faultinject.injected("pass:gvn", 1):
+            module = compile_and_link([SRC], "program", 2, policy=policy)
+        verify_module(module)
+        assert run_interpreter(module, STEP_LIMIT) == reference_outcome()
+        stats = policy.statistics()
+        assert stats["passes.rolled_back"] == 1
+        assert stats["passes.poisoned"] == 0
+
+    def test_matrix_subset_is_clean(self):
+        report = run_fault_matrix(
+            program_seeds=(401,), size=1,
+            sites=("pass:instcombine", "cache.read", "bytecode.truncate",
+                   "sidecar.corrupt", "linker.symbol-clash"),
+            step_limit=STEP_LIMIT)
+        assert report.clean, "\n".join(o.describe()
+                                       for o in report.failures)
+        assert len(report.outcomes) == 5
+
+
+# ----------------------------------------------------------------------
+# Lifelong session fault tolerance
+# ----------------------------------------------------------------------
+
+class TestLifelongFaultTolerance:
+    def test_reoptimizer_crash_is_contained(self, monkeypatch):
+        policy = FaultPolicy(reduce_testcases=False)
+        session = LifelongSession([SRC], level=1, fault_policy=policy)
+        before = session.run().exit_value
+
+        from repro.profile import OfflineReoptimizer
+
+        def boom(self, module, profile, **kwargs):
+            module.functions["main"].delete_body()  # half-done rewrite
+            raise RuntimeError("reoptimizer bug")
+
+        monkeypatch.setattr(OfflineReoptimizer, "run", boom)
+        report = session.reoptimize()
+        assert report.hot_functions == []
+        assert session.run().exit_value == before  # rolled back, still runs
+        assert any(r.pass_name == "reoptimizer"
+                   for r in policy.crash_reports)
+
+    def test_without_policy_reoptimizer_crash_propagates(self, monkeypatch):
+        session = LifelongSession([SRC], level=1)
+        from repro.profile import OfflineReoptimizer
+
+        def boom(self, module, profile, **kwargs):
+            raise RuntimeError("reoptimizer bug")
+
+        monkeypatch.setattr(OfflineReoptimizer, "run", boom)
+        with pytest.raises(RuntimeError):
+            session.reoptimize()
+
+
+# ----------------------------------------------------------------------
+# Tool flags
+# ----------------------------------------------------------------------
+
+class TestToolFlags:
+    @pytest.fixture
+    def source_file(self, tmp_path):
+        path = tmp_path / "prog.lc"
+        path.write_text(SRC)
+        return str(path)
+
+    def test_lc_cc_fault_inject_and_stats(self, source_file, tmp_path,
+                                          capsys):
+        from repro.tools import lc_cc
+
+        out = tmp_path / "prog.ll"
+        code = lc_cc([source_file, "-O", "2", "-o", str(out),
+                      "--fault-inject", "pass:gvn", "-stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "passes.rolled_back" in captured.err
+        assert "contained" in captured.err
+        assert "%main" in out.read_text()
+
+    def test_lc_opt_crash_dir(self, source_file, tmp_path, capsys):
+        from repro.tools import lc_cc, lc_opt
+
+        bc = tmp_path / "prog.bc"
+        assert lc_cc([source_file, "-c", "-o", str(bc)]) == 0
+        crashes = tmp_path / "crashes"
+        code = lc_opt([str(bc), "-O", "2", "-o", os.devnull,
+                       "--fault-inject", "pass:instcombine:5",
+                       "--crash-dir", str(crashes)])
+        capsys.readouterr()
+        assert code == 0
+        assert any(n.endswith(".json") for n in os.listdir(crashes))
+
+    def test_lc_opt_rejects_unknown_site(self, source_file, tmp_path,
+                                         capsys):
+        from repro.tools import lc_cc, lc_opt
+
+        bc = tmp_path / "prog.bc"
+        assert lc_cc([source_file, "-c", "-o", str(bc)]) == 0
+        with pytest.raises(SystemExit):
+            lc_opt([str(bc), "-O", "1", "--fault-inject", "no.such.site"])
+        capsys.readouterr()
+
+    def test_lc_fuzz_lists_sites(self, capsys):
+        from repro.tools import lc_fuzz
+
+        assert lc_fuzz(["--list-fault-sites"]) == 0
+        out = capsys.readouterr().out
+        assert "cache.read" in out and "pass:gvn" in out
+
+    def test_lc_fuzz_single_cell_matrix(self, capsys):
+        from repro.tools import lc_fuzz
+
+        code = lc_fuzz(["--fault-inject", "linker.symbol-clash",
+                        "--size", "1", "-q"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "0 failing" in err
