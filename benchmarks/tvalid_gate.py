@@ -1,0 +1,91 @@
+"""CI gate for translation validation: zero rollbacks on the suite.
+
+Compiles every benchsuite program at -O2 with --translation-validate:
+each transform pass's output is checked for refinement against its
+input, per function, on every compile.  The shipped pipeline is
+correct, so *any* validation failure (or any rollback at all) is a
+regression — either a pass started miscompiling or the validator
+started flagging legal transforms.  The gate then re-verifies the
+checked-in lc-synth rule set (`lc-synth --self-check`): every
+generated instcombine rule must still prove at every probed width,
+still be non-redundant, and the cast-chain audit must stay clean.
+See docs/ANALYSIS.md, "Translation validation".
+
+Usage:  PYTHONPATH=src python benchmarks/tvalid_gate.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.benchsuite import benchmark_names, load_source
+from repro.driver import FaultPolicy
+from repro.driver.pipelines import optimize_module
+from repro.frontend import compile_source
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--level", type=int, default=2)
+    parser.add_argument("--skip-self-check", action="store_true",
+                        help="benchsuite half only (for local iteration)")
+    args = parser.parse_args(argv)
+
+    policy = FaultPolicy(translation_validate=True, reduce_testcases=False)
+    started = time.perf_counter()
+    failed_programs = []
+    for name in benchmark_names():
+        program_started = time.perf_counter()
+        module = compile_source(load_source(name), name)
+        optimize_module(module, level=args.level, policy=policy)
+        stats = policy.statistics()
+        print(f"tvalid-gate: {name:10s} {time.perf_counter() - program_started:6.1f}s  "
+              f"validated={stats['validations.run']} "
+              f"failed={stats['validations.failed']} "
+              f"rolled_back={stats['passes.rolled_back']}")
+        if stats["validations.failed"] or stats["passes.rolled_back"]:
+            failed_programs.append(name)
+            for report in policy.crash_reports:
+                print(f"tvalid-gate:   {report.describe()}", file=sys.stderr)
+
+    stats = policy.statistics()
+    print(f"tvalid-gate: suite at -O{args.level}: "
+          f"{stats['validations.run']} validations "
+          f"({stats['validations.passed']} passed, "
+          f"{stats['validations.failed']} failed), "
+          f"{stats['validations.skipped-unsupported']} skipped-unsupported, "
+          f"{stats['validations.skipped-by-size']} skipped-by-size, "
+          f"{stats['passes.rolled_back']} rollbacks, "
+          f"{stats['synth.rules-loaded']} synth rules loaded, "
+          f"{time.perf_counter() - started:.1f}s")
+    if failed_programs:
+        print(f"tvalid-gate: FAIL — rollbacks on: "
+              f"{', '.join(failed_programs)}", file=sys.stderr)
+        return 1
+    if stats["validations.run"] == 0:
+        print("tvalid-gate: FAIL — the validator never ran "
+              "(wiring regression)", file=sys.stderr)
+        return 1
+
+    if not args.skip_self_check:
+        from repro.tvalid.synth import self_check
+
+        check_started = time.perf_counter()
+        problems = self_check()
+        for problem in problems:
+            print(f"tvalid-gate: self-check: {problem}", file=sys.stderr)
+        print(f"tvalid-gate: lc-synth self-check: {len(problems)} "
+              f"problem(s), {time.perf_counter() - check_started:.1f}s")
+        if problems:
+            print("tvalid-gate: FAIL — generated rules no longer verify",
+                  file=sys.stderr)
+            return 1
+
+    print("tvalid-gate: ok — zero rollbacks, generated rules still prove")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,7 @@ compile/link/execute flows of paper Figure 4."""
 from .cache import BytecodeCache, toolchain_fingerprint
 from .passmanager import (
     CrashReport, FaultPolicy, PassBudgetExceeded, TransactionalPassManager,
-    restore_module, snapshot_module,
+    TranslationValidationError, restore_module, snapshot_module,
 )
 from .pipelines import (
     analyze_module, compile_and_link, compile_translation_units,
@@ -15,7 +15,8 @@ from .lifelong import LifelongSession
 
 __all__ = [
     "BytecodeCache", "CrashReport", "FaultPolicy", "PassBudgetExceeded",
-    "TransactionalPassManager", "analyze_module", "compile_and_link",
+    "TransactionalPassManager", "TranslationValidationError",
+    "analyze_module", "compile_and_link",
     "compile_translation_units", "link_time_optimize",
     "lint_whole_program", "lto_pipeline", "optimize_module",
     "restore_module", "snapshot_module", "standard_pipeline",

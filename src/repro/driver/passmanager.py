@@ -24,6 +24,16 @@ its optimization; a failing *module* pass is bisected to name the
 function that kills it before being skipped.  The
 :class:`FaultPolicy` owns the knobs and the ``-stats`` counters
 (``passes.rolled_back``, ``crashes.reported``, ``fallbacks.taken``).
+
+With ``translation_validate`` on, step 3 grows a fourth obligation:
+every function a *function* pass changed is checked for refinement
+against the pre-pass snapshot (:mod:`repro.tvalid`).  A refinement
+violation is handled exactly like a crash — rollback, per-function
+retry, poison, structured report with a bugpoint-reduced testcase that
+still fails validation — except the report also carries the concrete
+counterexample input.  Module (interprocedural) passes are exempt:
+their rewrites may be justified by call-site context that per-function
+refinement cannot see (docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -40,6 +50,10 @@ from ..bitcode import read_bytecode, write_bytecode
 from ..core.module import Module
 from ..core.verifier import verify_function, verify_module
 from ..transforms.passmanager import PassManager
+from ..tvalid.validate import (
+    FAILED as _VALIDATION_FAILED, TranslationValidationError,
+    TranslationValidator, ValidationConfig,
+)
 
 
 class PassBudgetExceeded(Exception):
@@ -155,6 +169,10 @@ class FaultPolicy:
     reduce_step_budget: int = 300_000
     reduce_rounds: int = 6
     verify_after_each: bool = True
+    #: check refinement of every function a function pass changes
+    #: (--translation-validate); violations roll back like crashes
+    translation_validate: bool = False
+    validation_config: Optional[ValidationConfig] = None
 
     crash_reports: list = field(default_factory=list)
 
@@ -164,6 +182,7 @@ class FaultPolicy:
         self._lock = threading.Lock()
         #: (pass, module, function-or-None) triples banned from running.
         self._poisoned: set = set()
+        self._validator: Optional[TranslationValidator] = None
         self._counters = {
             "passes.rolled_back": 0,
             "crashes.reported": 0,
@@ -172,6 +191,12 @@ class FaultPolicy:
             "passes.skipped": 0,
             "retries.function": 0,
             "link.retries": 0,
+            "validations.run": 0,
+            "validations.passed": 0,
+            "validations.failed": 0,
+            "validations.skipped-by-size": 0,
+            "validations.skipped-unsupported": 0,
+            "synth.rules-loaded": 0,
         }
 
     # -- counters -----------------------------------------------------------
@@ -180,12 +205,26 @@ class FaultPolicy:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + delta
 
+    def gauge(self, name: str, value: int) -> None:
+        """Set a level-style counter (idempotent across pipeline builds)."""
+        with self._lock:
+            self._counters[name] = value
+
     def statistics(self) -> dict[str, int]:
         """Counters in the shape the ``-stats`` machinery expects."""
         with self._lock:
             return dict(self._counters)
 
     name = "fault-policy"  # the -stats source label
+
+    # -- translation validation ---------------------------------------------
+
+    def validator(self) -> TranslationValidator:
+        """The (lazily built, shared) refinement checker."""
+        with self._lock:
+            if self._validator is None:
+                self._validator = TranslationValidator(self.validation_config)
+            return self._validator
 
     # -- poisoning ----------------------------------------------------------
 
@@ -238,11 +277,31 @@ def _pass_name(pass_obj) -> str:
 
 
 def _fresh_pass(pass_obj):
-    """A clean instance for probing (passes may carry run state)."""
+    """A clean instance for probing (passes may carry run state).
+
+    A pass with construction-time configuration (e.g. InstCombine's
+    rule set) exposes ``fresh()`` so the probe reproduces the *same*
+    behaviour, not the default one.
+    """
+    fresh = getattr(pass_obj, "fresh", None)
+    if callable(fresh):
+        try:
+            return fresh()
+        except Exception:
+            pass
     try:
         return type(pass_obj)()
     except Exception:
         return pass_obj
+
+
+def _validatable(pass_obj) -> bool:
+    """Translation validation applies to *function* passes: a module
+    pass may rewrite a function using call-site facts (IPCP
+    specializing a body for its only caller), which per-function
+    refinement cannot justify."""
+    return (hasattr(pass_obj, "run_on_function")
+            and not hasattr(pass_obj, "run_on_module"))
 
 
 def _run_pass_plain(pass_obj, module: Module) -> bool:
@@ -295,11 +354,33 @@ class TransactionalPassManager(PassManager):
                 changed = self._run_guarded(pass_obj, name, module)
             if policy.verify_after_each:
                 verify_module(module)
+            if (changed and policy.translation_validate
+                    and _validatable(pass_obj)):
+                self._validate_changes(name, module, snapshot)
             return changed
         except Exception as error:
             restore_module(module, snapshot)
             policy.count("passes.rolled_back")
             return self._contain(pass_obj, name, module, snapshot, error)
+
+    def _validate_changes(self, name: str, module: Module, snapshot: bytes,
+                          only_function: Optional[str] = None) -> None:
+        """Check refinement of every changed function against the
+        snapshot; count verdicts; raise on the first violation."""
+        policy = self.policy
+        before = read_bytecode(snapshot)
+        failure = None
+        for result in policy.validator().validate(before, module,
+                                                  only_function):
+            if result.status in (_VALIDATION_FAILED, "passed"):
+                policy.count("validations.run")
+                policy.count(f"validations.{result.status}")
+            else:
+                policy.count(f"validations.{result.status}")
+            if result.status == _VALIDATION_FAILED and failure is None:
+                failure = result
+        if failure is not None:
+            raise TranslationValidationError(name, failure)
 
     def _run_guarded(self, pass_obj, name: str, module: Module) -> bool:
         """Run the pass, honouring per-function poison marks."""
@@ -349,7 +430,9 @@ class TransactionalPassManager(PassManager):
                 type(error), error, error.__traceback__)),
         )
         if policy.reduce_testcases and self._is_deterministic(error):
-            reduced = self._reduce_testcase(pass_obj, snapshot)
+            reduced = self._reduce_testcase(
+                pass_obj, snapshot,
+                validate=isinstance(error, TranslationValidationError))
             if reduced is not None:
                 from ..core import print_module
 
@@ -388,10 +471,13 @@ class TransactionalPassManager(PassManager):
             try:
                 with _Watchdog(policy.pass_time_budget,
                                policy.pass_step_budget):
-                    if pass_obj.run_on_function(function):
-                        changed = True
+                    function_changed = pass_obj.run_on_function(function)
                 if policy.verify_after_each:
                     verify_function(function)
+                if function_changed and policy.translation_validate:
+                    self._validate_changes(name, module, snapshot,
+                                           only_function=function_name)
+                changed |= function_changed
             except Exception:
                 restore_module(module, snapshot)
                 guilty.append(function_name)
@@ -430,15 +516,20 @@ class TransactionalPassManager(PassManager):
     def _is_deterministic_probe_worthwhile(self) -> bool:
         return self.policy.reduce_testcases
 
-    def _reduce_testcase(self, pass_obj, snapshot: bytes) -> Optional[Module]:
+    def _reduce_testcase(self, pass_obj, snapshot: bytes,
+                         validate: bool = False) -> Optional[Module]:
         """Shrink the snapshot to a minimal module that still crashes
-        the pass (reusing bugpoint's delta reduction)."""
+        the pass (reusing bugpoint's delta reduction).  For a
+        validation failure the interestingness predicate is "the pass
+        still miscompiles this", so the reduced testcase ships with a
+        replayable refinement violation, not just a crash."""
         from ..fuzz.bugpoint import reduce_module
 
         policy = self.policy
 
         def crashes(candidate: Module) -> bool:
             try:
+                pre_pass = snapshot_module(candidate) if validate else None
                 with _Watchdog(policy.reduce_time_budget,
                                policy.reduce_step_budget):
                     _run_pass_plain(_fresh_pass(pass_obj), candidate)
@@ -447,6 +538,13 @@ class TransactionalPassManager(PassManager):
                 return False
             except Exception:
                 return True
+            if validate:
+                try:
+                    results = policy.validator().validate(
+                        read_bytecode(pre_pass), candidate)
+                except Exception:
+                    return False
+                return any(r.status == _VALIDATION_FAILED for r in results)
             return False
 
         try:

@@ -50,7 +50,11 @@ def standard_pipeline(level: int = 2, verify_each: bool = False,
     manager.add(SimplifyCFG())
     manager.add(ScalarReplAggregates())
     manager.add(PromoteMem2Reg())
-    manager.add(InstCombine())
+    combiner = InstCombine()
+    if policy is not None:
+        policy.gauge("synth.rules-loaded",
+                     combiner.stats.generated_rules_loaded)
+    manager.add(combiner)
     manager.add(SimplifyCFG())
     manager.add(ConstantPropagation())
     manager.add(DeadCodeElimination())

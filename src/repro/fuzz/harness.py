@@ -9,7 +9,17 @@ pair of paths that the system claims are semantically equivalent:
   write -> read must reproduce the module *exactly* (modulo the
   printer's own canonical form, which is compared by printing both);
 * **backend oracle** — the machine simulators for the x86-like and
-  sparc-like targets, at ``-O0`` and ``-O2``, versus the reference.
+  sparc-like targets, at ``-O0`` and ``-O2``, versus the reference;
+* **translation-validation oracle** (opt-in,
+  ``translation_validate=True``) — each optimized compile additionally
+  runs under the per-pass refinement validator
+  (:mod:`repro.tvalid`); a validation failure is its own finding
+  (``tvalid-O<level>``) with the guilty pass and the concrete
+  counterexample.  The two oracles cross-check each other: an
+  end-to-end divergence with no validation finding is reported as
+  ``tvalid-miss-O<level>`` — either validator incompleteness (a
+  skipped function hides the bug) or a bug in a pass the validator
+  exempts (module-level passes).
 
 Behaviour is summarised as an :class:`Outcome` (exit code or trap
 class, plus everything printed).  Any mismatch is a
@@ -122,6 +132,7 @@ class HarnessConfig:
     machine_levels: Sequence[int] = (0, 2)
     step_limit: int = DEFAULT_STEP_LIMIT
     check_roundtrips: bool = True
+    translation_validate: bool = False
 
 
 @dataclass
@@ -134,12 +145,21 @@ class ProgramResult:
     error: Optional[str] = None    # compile/verify crash (also a finding)
 
 
-def _compile(source: str, name: str, level: int) -> Module:
+def _compile(source: str, name: str, level: int, policy=None) -> Module:
     module = compile_source(source, name)
     if level > 0:
-        optimize_module(module, level=level)
+        optimize_module(module, level=level, policy=policy)
     verify_module(module)
     return module
+
+
+def _validation_policy():
+    """A FaultPolicy armed for per-pass refinement checking.  Testcase
+    reduction stays off: the fuzz loop wants throughput, and the
+    counterexample in the report already replays the bug."""
+    from ..driver import FaultPolicy
+
+    return FaultPolicy(translation_validate=True, reduce_testcases=False)
 
 
 def check_program(source: str,
@@ -163,17 +183,42 @@ def check_program(source: str,
             result.divergences.append(Divergence(
                 oracle, reference.describe(), candidate.describe(), source))
 
-    # Optimizer oracle: interpreter at each -O level.
+    # Optimizer oracle: interpreter at each -O level.  With
+    # translation validation on, the same compile also runs the
+    # per-pass refinement validator as a third oracle column.
     for level in config.levels:
+        policy = (_validation_policy()
+                  if config.translation_validate and level > 0 else None)
         try:
-            module = _compile(source, f"fuzz_o{level}", level)
+            module = _compile(source, f"fuzz_o{level}", level, policy)
         except Exception as error:
             result.divergences.append(Divergence(
                 f"interp-O{level}", reference.describe(),
                 f"compile failed: {type(error).__name__}: {error}", source))
             continue
+        validation_findings = 0
+        if policy is not None:
+            for crash in policy.crash_reports:
+                if crash.error_type != "TranslationValidationError":
+                    continue
+                validation_findings += 1
+                result.divergences.append(Divergence(
+                    f"tvalid-O{level}",
+                    "every changed function refines its input",
+                    f"{crash.pass_name}: {crash.error_message}", source))
+        before = len(result.divergences)
         record(f"interp-O{level}", run_interpreter(module,
                                                    config.step_limit))
+        if (policy is not None and len(result.divergences) > before
+                and validation_findings == 0):
+            # The oracles disagree: end-to-end behaviour changed, yet
+            # every per-pass validation passed.  Distinct finding —
+            # validator incompleteness or an exempted (module) pass.
+            result.divergences.append(Divergence(
+                f"tvalid-miss-O{level}",
+                "a validation finding for the divergent compile",
+                "optimizer output diverges but per-pass validation "
+                "reported nothing", source))
 
     # Representation oracles: print->parse and write->read identity.
     if config.check_roundtrips:

@@ -10,6 +10,9 @@
 | lc-run    | lli             | execute a module in the execution engine |
 | lc-llc    | llc             | "native" code generation (sizes + assembly) |
 | lc-lint   | (clang-tidy)    | static checker suite over IR or LC source |
+| lc-fuzz   | (csmith)        | differential fuzzer across every oracle pair |
+| lc-bugpoint | bugpoint      | bisect the guilty pass, reduce the program |
+| lc-synth  | (souper)        | synthesize + exhaustively verify peephole rules |
 
 Each accepts ``-`` for stdin/stdout where that makes sense.  Installed
 as console scripts; also callable as ``python -m repro.tools <tool>``.
@@ -84,6 +87,12 @@ def _add_fault_arguments(parser) -> None:
                         help="arm one seeded single-shot fault (see "
                              "lc-fuzz --list-fault-sites); implies "
                              "--fault-tolerant")
+    parser.add_argument("--translation-validate", action="store_true",
+                        dest="translation_validate",
+                        help="check every function a transform pass changes "
+                             "for refinement against its input; a violation "
+                             "rolls the pass back like a crash (implies "
+                             "--fault-tolerant)")
 
 
 def _parse_fault_spec(spec: str, parser) -> tuple:
@@ -98,11 +107,14 @@ def _parse_fault_spec(spec: str, parser) -> tuple:
 
 def _make_fault_policy(args):
     """A FaultPolicy when any fault flag was given, else None."""
-    if not (args.fault_tolerant or args.crash_dir or args.fault_inject):
+    translation_validate = getattr(args, "translation_validate", False)
+    if not (args.fault_tolerant or args.crash_dir or args.fault_inject
+            or translation_validate):
         return None
     from .driver import FaultPolicy
 
-    return FaultPolicy(crash_dir=args.crash_dir)
+    return FaultPolicy(crash_dir=args.crash_dir,
+                       translation_validate=translation_validate)
 
 
 def _armed(args, parser):
@@ -616,6 +628,14 @@ def lc_fuzz(argv=None) -> int:
     parser.add_argument("--step-limit", type=int, default=5_000_000)
     parser.add_argument("--no-roundtrips", action="store_true",
                         help="skip text/bytecode round-trip oracles")
+    parser.add_argument("--translation-validate", action="store_true",
+                        dest="translation_validate",
+                        help="run each optimized compile under the "
+                             "per-pass refinement validator as a third "
+                             "oracle column: validation failures are "
+                             "tvalid-O<N> findings, end-to-end "
+                             "divergences the validator missed are "
+                             "tvalid-miss-O<N>")
     parser.add_argument("--emit-source", metavar="SEED", type=int,
                         help="print the program for one seed and exit")
     parser.add_argument("--save-failing", metavar="DIR",
@@ -653,7 +673,8 @@ def lc_fuzz(argv=None) -> int:
         sys.stdout.write(generate_program(args.emit_source, args.size))
         return 0
     config = HarnessConfig(step_limit=args.step_limit,
-                           check_roundtrips=not args.no_roundtrips)
+                           check_roundtrips=not args.no_roundtrips,
+                           translation_validate=args.translation_validate)
 
     def on_program(seed, result):
         if args.quiet:
@@ -759,10 +780,76 @@ def lc_bugpoint(argv=None) -> int:
     return 0
 
 
+def lc_synth(argv=None) -> int:
+    """Synthesize and exhaustively verify peephole rewrite rules."""
+    parser = argparse.ArgumentParser(
+        prog="lc-synth",
+        description="peephole superoptimizer: enumerate 2-3 instruction "
+                    "rewrite candidates, verify each exhaustively at "
+                    "narrow bitwidths (sampled at wide ones), dedupe "
+                    "against instcombine's hand-written folds, and emit "
+                    "the survivors as generated instcombine rules",
+    )
+    parser.add_argument("--max-rules", type=int, default=40,
+                        help="cap on enumerated (non-template) rules")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the generated rules module here "
+                             "(e.g. src/repro/transforms/"
+                             "instcombine_generated.py); default: "
+                             "print the rule table only")
+    parser.add_argument("--self-check", action="store_true",
+                        dest="self_check",
+                        help="re-verify the checked-in generated rules "
+                             "instead of synthesizing; exit 1 on any "
+                             "problem (the CI tvalid-gate mode)")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    from .tvalid import synth
+
+    if args.self_check:
+        problems = synth.self_check()
+        for problem in problems:
+            print(f"lc-synth: self-check: {problem}", file=sys.stderr)
+        if not args.quiet:
+            from .transforms.peephole import load_generated_rules
+
+            count = len(load_generated_rules())
+            status = "FAILED" if problems else "ok"
+            print(f"lc-synth: self-check {status}: {count} rules, "
+                  f"{len(problems)} problem(s)", file=sys.stderr)
+        return 1 if problems else 0
+
+    def progress(lhs, rhs, applies):
+        if not args.quiet:
+            from .transforms.peephole import tree_name
+
+            print(f"lc-synth: verified [{applies}] "
+                  f"{tree_name(lhs)} -> {tree_name(rhs)}", file=sys.stderr)
+
+    report = synth.synthesize(max_rules=args.max_rules, progress=progress)
+    for problem in report.cast_problems:
+        print(f"lc-synth: cast audit: {problem}", file=sys.stderr)
+    if not args.quiet:
+        print(f"lc-synth: {report.enumerated} candidates enumerated, "
+              f"{report.fingerprint_hits} fingerprint hits, "
+              f"{report.verified} verified, "
+              f"{report.deduplicated} already folded by hand, "
+              f"{len(report.rules)} rules emitted", file=sys.stderr)
+    text = synth.emit_module(report.rules)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+    else:
+        for rule in report.rules:
+            print(f"[{rule.applies:4s}] {rule.name}")
+    return 1 if report.cast_problems else 0
+
+
 _TOOLS = {
     "cc": lc_cc, "as": lc_as, "dis": lc_dis, "opt": lc_opt,
     "link": lc_link, "run": lc_run, "llc": lc_llc, "lint": lc_lint,
-    "fuzz": lc_fuzz, "bugpoint": lc_bugpoint,
+    "fuzz": lc_fuzz, "bugpoint": lc_bugpoint, "synth": lc_synth,
 }
 
 

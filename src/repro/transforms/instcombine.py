@@ -5,11 +5,17 @@ instructions using algebraic identities (``x+0``, ``x^x``, casts that
 lose nothing, multiplies by powers of two, ...).  Works uniformly on
 the typed low-level representation, so the same rules serve every
 source language.
+
+Two rule populations drive the worklist: the hand-written folds below,
+and the **generated** rules of ``instcombine_generated.py`` — rewrites
+discovered by ``lc-synth`` and admitted only after exhaustive
+narrow-bitwidth verification (docs/ANALYSIS.md).  The generated set
+loads by default; pass ``generated_rules=[]`` to run bare.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core import types
 from ..core.instructions import (
@@ -20,13 +26,48 @@ from ..core.module import Function
 from ..core.values import (
     Constant, ConstantBool, ConstantInt, Value, null_value,
 )
+from .peephole import Rule, try_apply
 from .utils import fold_instruction, is_trivially_dead, replace_and_erase
 
 
+class InstCombineStats:
+    """-stats counters (picked up via the pass's ``stats`` attribute)."""
+
+    def __init__(self):
+        self.generated_rules_loaded = 0
+        self.generated_rules_fired = 0
+
+
 class InstCombine:
-    """The pass object (see module docstring)."""
+    """The pass object (see module docstring).
+
+    ``unsafe_cast_fold`` resurrects the pre-fix double-cast fold (the
+    PR-4 miscompile: ``(long)(uint)x -> (long)x``) for the translation
+    validator's regression tests.  It exists so the *real* bug can be
+    planted through the *real* pipeline; never enable it outside a
+    test.
+    """
 
     name = "instcombine"
+
+    def __init__(self, generated_rules: Optional[Sequence[Rule]] = None,
+                 unsafe_cast_fold: bool = False):
+        if generated_rules is None:
+            generated_rules = _default_rules()
+        self.generated_rules = list(generated_rules)
+        self.unsafe_cast_fold = unsafe_cast_fold
+        self.stats = InstCombineStats()
+        self.stats.generated_rules_loaded = len(self.generated_rules)
+        #: generated rules bucketed by LHS root opcode name for O(1)
+        #: candidate lookup in the worklist loop
+        self._rules_by_root: dict[str, list[Rule]] = {}
+        for rule in self.generated_rules:
+            self._rules_by_root.setdefault(rule.root_op, []).append(rule)
+
+    def fresh(self) -> "InstCombine":
+        """Same configuration, clean run state (for crash probing)."""
+        return InstCombine(generated_rules=self.generated_rules,
+                           unsafe_cast_fold=self.unsafe_cast_fold)
 
     def run_on_function(self, function: Function) -> bool:
         changed = False
@@ -49,12 +90,45 @@ class InstCombine:
                 changed = True
                 worklist.append(inst)
                 continue
-            simplified = _simplify(inst)
+            simplified = _simplify(inst, self.unsafe_cast_fold)
+            if simplified is None:
+                simplified = self._apply_generated(inst)
             if simplified is not None:
                 worklist.extend(u for u in inst.users() if u is not inst)
                 replace_and_erase(inst, simplified)
                 changed = True
         return changed
+
+    def _apply_generated(self, inst: Instruction) -> Optional[Value]:
+        rules = self._rules_by_root.get(_root_op_name(inst))
+        if not rules:
+            return None
+        for rule in rules:
+            replacement = try_apply(rule, inst)
+            if replacement is not None:
+                self.stats.generated_rules_fired += 1
+                return replacement
+        return None
+
+
+def _root_op_name(inst: Instruction) -> str:
+    return inst.opcode.value
+
+
+_DEFAULT_RULES: Optional[list] = None
+
+
+def _default_rules() -> list:
+    """The checked-in lc-synth rule set, loaded once per process."""
+    global _DEFAULT_RULES
+    if _DEFAULT_RULES is None:
+        try:
+            from .peephole import load_generated_rules
+
+            _DEFAULT_RULES = load_generated_rules()
+        except Exception:
+            _DEFAULT_RULES = []  # no generated file: run bare
+    return _DEFAULT_RULES
 
 
 def _canonicalize(inst: Instruction) -> bool:
@@ -83,7 +157,8 @@ def _is_zero(value: Value) -> bool:
     return isinstance(value, Constant) and value.is_null_value() and not value.type.is_floating
 
 
-def _simplify(inst: Instruction) -> Optional[Value]:
+def _simplify(inst: Instruction,
+              unsafe_cast_fold: bool = False) -> Optional[Value]:
     if isinstance(inst, BinaryOperator):
         return _simplify_binary(inst)
     if isinstance(inst, ShiftInst):
@@ -93,7 +168,7 @@ def _simplify(inst: Instruction) -> Optional[Value]:
             return inst.value
         return None
     if isinstance(inst, CastInst):
-        return _simplify_cast(inst)
+        return _simplify_cast(inst, unsafe_cast_fold)
     if isinstance(inst, GetElementPtrInst):
         if inst.has_all_zero_indices() and inst.type is inst.pointer.type:
             return inst.pointer
@@ -199,7 +274,8 @@ def _cast_pair_foldable(src: types.Type, mid: types.Type,
     return dst.is_integer and dst.bits <= mid.bits
 
 
-def _simplify_cast(inst: CastInst) -> Optional[Value]:
+def _simplify_cast(inst: CastInst,
+                   unsafe_cast_fold: bool = False) -> Optional[Value]:
     source = inst.value
     if source.type is inst.type:
         return source
@@ -207,7 +283,11 @@ def _simplify_cast(inst: CastInst) -> Optional[Value]:
         # cast (cast X to B) to C == cast X to C when the middle step
         # loses nothing and C does not reinterpret what B changed.
         inner = source.value
-        if _cast_pair_foldable(inner.type, source.type, inst.type):
+        foldable = (types.is_losslessly_convertible(inner.type, source.type)
+                    if unsafe_cast_fold  # the resurrected PR-4 bug
+                    else _cast_pair_foldable(inner.type, source.type,
+                                             inst.type))
+        if foldable:
             if inner.type is inst.type:
                 return inner
             builder_parent = inst.parent

@@ -1,0 +1,321 @@
+"""Generated peephole rules: the tree language, matcher, and builder.
+
+``lc-synth`` (:mod:`repro.tvalid.synth`) enumerates candidate rewrite
+rules over a small expression-tree language, verifies each one
+exhaustively at narrow bitwidths, and emits the survivors into
+``instcombine_generated.py``.  This module is the *runtime* half: it
+evaluates trees (shared with the synthesizer, so verification and
+application can never diverge), structurally matches a rule's LHS
+against live IR, and builds the RHS in place.
+
+Tree grammar (JSON-serializable lists):
+
+* ``["var", i]`` — the i-th pattern variable, of the subject type T;
+* ``["const", c]`` — the integer constant ``T.wrap(c)`` (width-generic:
+  -1 is all-ones at every width);
+* ``["cvar", i]`` — the i-th *constant* variable: matches any
+  ``ConstantInt`` of type T and binds its value (the generalized
+  constant-reassociation rules use these);
+* ``["cfold", op, a, b]`` — RHS-only: fold ``op`` over two bound
+  constants at rewrite time, producing a new ``ConstantInt``
+  (``(x + C1) + C2 -> x + (C1+C2)`` without enumerating constants);
+* ``["bool", b]`` — a boolean constant (comparison-rooted rules);
+* ``["amt", n]`` — a ubyte shift-amount constant;
+* ``[op, a, b]`` — ``op`` in add/sub/mul/and/or/xor (operands and
+  result typed T), seteq/setne/setlt/setgt/setle/setge (operands T,
+  result bool), or shl/shr (value T, amount an ``amt`` node).
+
+Evaluation envs are ``(x, y, c0, c1)`` tuples: pattern variables read
+slots 0-1, constant variables slots 2-3.  For *verification* a
+constant variable is just another universally-quantified input; only
+matching treats it specially.
+
+A rule's ``applies`` field restricts the subject type's signedness:
+``"int"`` (any integer type), ``"sint"``, or ``"uint"`` — rules true
+only at one signedness (``x shr 1`` identities, ordered comparisons)
+are verified and emitted per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core import types
+from ..core.constfold import eval_binary, eval_shift
+from ..core.instructions import (
+    BinaryOperator, COMMUTATIVE_OPCODES, COMPARISON_OPCODES, Instruction,
+    Opcode, ShiftInst,
+)
+from ..core.values import ConstantBool, ConstantInt, Value
+
+_BINARY_OPS = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "and": Opcode.AND, "or": Opcode.OR, "xor": Opcode.XOR,
+    "seteq": Opcode.SETEQ, "setne": Opcode.SETNE, "setlt": Opcode.SETLT,
+    "setgt": Opcode.SETGT, "setle": Opcode.SETLE, "setge": Opcode.SETGE,
+}
+_SHIFT_OPS = {"shl": Opcode.SHL, "shr": Opcode.SHR}
+_CMP_OPS = frozenset(op for op, code in _BINARY_OPS.items()
+                     if code in COMPARISON_OPCODES)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One verified rewrite: ``lhs`` tree -> ``rhs`` tree."""
+
+    name: str
+    lhs: tuple
+    rhs: tuple
+    applies: str = "int"          # "int" | "sint" | "uint"
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Rule":
+        return cls(name=record["name"], lhs=_freeze(record["lhs"]),
+                   rhs=_freeze(record["rhs"]),
+                   applies=record.get("applies", "int"))
+
+    @property
+    def root_op(self) -> str:
+        return self.lhs[0]
+
+
+def _freeze(tree) -> tuple:
+    if isinstance(tree, (list, tuple)):
+        return tuple(_freeze(item) for item in tree)
+    return tree
+
+
+_LEAF_HEADS = ("var", "const", "bool", "amt", "cvar")
+
+
+def tree_cost(tree) -> int:
+    """Instructions the tree takes to compute (op nodes; a ``cfold``
+    collapses to a constant at rewrite time, so it is free)."""
+    head = tree[0]
+    if head in _LEAF_HEADS:
+        return 0
+    if head == "cfold":
+        return 0
+    return 1 + sum(tree_cost(operand) for operand in tree[1:])
+
+
+def tree_vars(tree) -> set:
+    head = tree[0]
+    if head == "var":
+        return {tree[1]}
+    if head in ("const", "bool", "amt", "cvar"):
+        return set()
+    operands = tree[2:] if head == "cfold" else tree[1:]
+    return set().union(*(tree_vars(operand) for operand in operands))
+
+
+def tree_cvars(tree) -> set:
+    """Constant-variable indices the tree reads."""
+    head = tree[0]
+    if head == "cvar":
+        return {tree[1]}
+    if head in ("var", "const", "bool", "amt"):
+        return set()
+    operands = tree[2:] if head == "cfold" else tree[1:]
+    return set().union(*(tree_cvars(operand) for operand in operands))
+
+
+def tree_name(tree) -> str:
+    """A compact human-readable spelling, used for rule names."""
+    head = tree[0]
+    if head == "var":
+        return "xy"[tree[1]] if tree[1] < 2 else f"v{tree[1]}"
+    if head == "cvar":
+        return f"C{tree[1]}"
+    if head == "const":
+        return str(tree[1]).replace("-", "m")
+    if head == "bool":
+        return "true" if tree[1] else "false"
+    if head == "amt":
+        return str(tree[1])
+    if head == "cfold":
+        inner = ", ".join(tree_name(o) for o in tree[2:])
+        return f"[{tree[1]} {inner}]"
+    return f"{head}({', '.join(tree_name(o) for o in tree[1:])})"
+
+
+def eval_tree(tree, ty: types.IntegerType, env: Sequence):
+    """Evaluate a tree on concrete values of the subject type ``ty``.
+
+    The single semantic authority is :mod:`repro.core.constfold` — the
+    same evaluators the interpreter and the constant folder use — so a
+    rule verified here is a rule the execution engines obey.
+    """
+    head = tree[0]
+    if head == "var":
+        return env[tree[1]]
+    if head == "cvar":
+        return env[2 + tree[1]]
+    if head == "const":
+        return ty.wrap(tree[1])
+    if head == "bool":
+        return tree[1]
+    if head == "cfold":
+        lhs = eval_tree(tree[2], ty, env)
+        rhs = eval_tree(tree[3], ty, env)
+        return eval_binary(_BINARY_OPS[tree[1]], ty, lhs, rhs)
+    if head in _SHIFT_OPS:
+        value = eval_tree(tree[1], ty, env)
+        amount = tree[2]
+        assert amount[0] == "amt"
+        return eval_shift(_SHIFT_OPS[head], ty, value, amount[1])
+    opcode = _BINARY_OPS[head]
+    lhs = eval_tree(tree[1], ty, env)
+    rhs = eval_tree(tree[2], ty, env)
+    return eval_binary(opcode, ty, lhs, rhs)
+
+
+# ----------------------------------------------------------------------
+# Matching against live IR
+# ----------------------------------------------------------------------
+
+def _match(tree, value: Value, subject_ty: types.Type,
+           bindings: dict) -> bool:
+    head = tree[0]
+    if head == "var":
+        bound = bindings.get(tree[1])
+        if bound is None:
+            if value.type is not subject_ty:
+                return False
+            bindings[tree[1]] = value
+            return True
+        return bound is value
+    if head == "const":
+        return (isinstance(value, ConstantInt) and value.type is subject_ty
+                and value.value == subject_ty.wrap(tree[1]))  # type: ignore[attr-defined]
+    if head == "cvar":
+        if not (isinstance(value, ConstantInt) and value.type is subject_ty):
+            return False
+        key = ("c", tree[1])
+        bound = bindings.get(key)
+        if bound is None:
+            bindings[key] = value.value
+            return True
+        return bound == value.value
+    if head == "bool":
+        return isinstance(value, ConstantBool) and value.value is tree[1]
+    if head == "amt":
+        return (isinstance(value, ConstantInt)
+                and value.type is types.UBYTE and value.value == tree[1])
+    if head in _SHIFT_OPS:
+        if not isinstance(value, ShiftInst):
+            return False
+        if value.opcode is not _SHIFT_OPS[head]:
+            return False
+        return _match_pair(tree, value.operands[0], value.operands[1],
+                           subject_ty, bindings)
+    opcode = _BINARY_OPS.get(head)
+    if opcode is None or not isinstance(value, BinaryOperator):
+        return False
+    if value.opcode is not opcode:
+        return False
+    lhs, rhs = value.operands
+    if _match_pair(tree, lhs, rhs, subject_ty, bindings):
+        return True
+    if opcode in COMMUTATIVE_OPCODES:
+        return _match_pair(tree, rhs, lhs, subject_ty, bindings)
+    return False
+
+
+def _match_pair(tree, first: Value, second: Value, subject_ty: types.Type,
+                bindings: dict) -> bool:
+    """Match both operand subtrees transactionally: a failed attempt
+    must not leak partial bindings into the caller's state (the
+    commutative retry, and any outer match, would see stale vars)."""
+    trial = dict(bindings)
+    if (_match(tree[1], first, subject_ty, trial)
+            and _match(tree[2], second, subject_ty, trial)):
+        bindings.clear()
+        bindings.update(trial)
+        return True
+    return False
+
+
+def _subject_type(rule: Rule, inst: Instruction) -> Optional[types.Type]:
+    """The integer type T that instantiates the rule at this site."""
+    if rule.root_op in _CMP_OPS:
+        ty = inst.operands[0].type
+    else:
+        ty = inst.type
+    if not ty.is_integer:
+        return None
+    if rule.applies == "sint" and not ty.signed:  # type: ignore[attr-defined]
+        return None
+    if rule.applies == "uint" and ty.signed:  # type: ignore[attr-defined]
+        return None
+    return ty
+
+
+def _build(tree, subject_ty: types.Type, bindings: dict,
+           anchor: Instruction) -> Value:
+    """Materialize the RHS; new instructions insert before ``anchor``."""
+    head = tree[0]
+    if head == "var":
+        return bindings[tree[1]]
+    if head == "cvar":
+        return ConstantInt(subject_ty, bindings[("c", tree[1])])
+    if head == "const":
+        return ConstantInt(subject_ty, subject_ty.wrap(tree[1]))  # type: ignore[attr-defined]
+    if head == "bool":
+        return ConstantBool(tree[1])
+    if head == "amt":
+        return ConstantInt(types.UBYTE, tree[1])
+    if head == "cfold":
+        folded = eval_binary(_BINARY_OPS[tree[1]], subject_ty,
+                             _const_value(tree[2], subject_ty, bindings),
+                             _const_value(tree[3], subject_ty, bindings))
+        return ConstantInt(subject_ty, folded)
+    operands = [_build(operand, subject_ty, bindings, anchor)
+                for operand in tree[1:]]
+    if head in _SHIFT_OPS:
+        built: Instruction = ShiftInst(_SHIFT_OPS[head], operands[0],
+                                       operands[1])
+    else:
+        built = BinaryOperator(_BINARY_OPS[head], operands[0], operands[1])
+    block = anchor.parent
+    block.insert(block.instructions.index(anchor), built)
+    return built
+
+
+def _const_value(tree, subject_ty: types.Type, bindings: dict) -> int:
+    """A ``cfold`` operand (cvar/const/nested cfold) as a plain int."""
+    head = tree[0]
+    if head == "cvar":
+        return bindings[("c", tree[1])]
+    if head == "const":
+        return subject_ty.wrap(tree[1])  # type: ignore[attr-defined]
+    if head == "cfold":
+        return eval_binary(_BINARY_OPS[tree[1]], subject_ty,
+                           _const_value(tree[2], subject_ty, bindings),
+                           _const_value(tree[3], subject_ty, bindings))
+    raise ValueError(f"non-constant cfold operand: {tree!r}")
+
+
+def try_apply(rule: Rule, inst: Instruction) -> Optional[Value]:
+    """Match ``rule`` at ``inst``; on success build and return the
+    replacement value (the caller RAUWs and erases)."""
+    subject_ty = _subject_type(rule, inst)
+    if subject_ty is None:
+        return None
+    bindings: dict = {}
+    if not _match(rule.lhs, inst, subject_ty, bindings):
+        return None
+    if tree_vars(rule.rhs) - set(bindings):
+        return None  # RHS needs a variable the LHS never bound
+    if tree_cvars(rule.rhs) - {k[1] for k in bindings
+                               if isinstance(k, tuple)}:
+        return None  # likewise for constant variables
+    return _build(rule.rhs, subject_ty, bindings, inst)
+
+
+def load_generated_rules() -> list[Rule]:
+    """The checked-in, lc-synth-verified rule set."""
+    from .instcombine_generated import RULES
+
+    return [Rule.from_dict(record) for record in RULES]

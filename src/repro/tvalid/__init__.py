@@ -1,0 +1,28 @@
+"""Translation validation and exhaustively-verified peephole synthesis.
+
+Two consumers of one narrow-width verification idea:
+
+* :mod:`.validate` — after each transform pass, check that every
+  changed function *refines* its pre-pass version (exhaustive
+  enumeration of the narrow input window for loop-free pure code,
+  bounded interpreter co-execution for the rest).  Wired into the
+  transactional pass manager as ``--translation-validate``.
+* :mod:`.synth` — enumerate candidate algebraic peepholes, verify
+  them exhaustively at narrow bitwidths, dedupe against the
+  hand-written instcombine folds, and emit the survivors as generated
+  rules (``lc-synth``).
+"""
+
+from .evaluate import UNDEF, Unsupported, evaluate_function, supports
+from .validate import (
+    FAILED, PASSED, SKIPPED_SIZE, SKIPPED_UNSUPPORTED,
+    Counterexample, FunctionValidation, TranslationValidationError,
+    TranslationValidator, ValidationConfig, refines,
+)
+
+__all__ = [
+    "UNDEF", "Unsupported", "evaluate_function", "supports",
+    "FAILED", "PASSED", "SKIPPED_SIZE", "SKIPPED_UNSUPPORTED",
+    "Counterexample", "FunctionValidation", "TranslationValidationError",
+    "TranslationValidator", "ValidationConfig", "refines",
+]

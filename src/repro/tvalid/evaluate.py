@@ -1,0 +1,310 @@
+"""Exhaustive narrow-domain evaluation of loop-free pure functions.
+
+The exhaustive half of the translation validator: a direct CFG
+evaluator over the scalar fragment of the IR (binary arithmetic,
+shifts, casts, phis, branches, switches, returns — no memory, no
+calls).  Because every block of a loop-free function executes at most
+once, evaluation terminates and the function is a total map from
+argument tuples to outcomes, which we can enumerate over a *narrow
+input window* — the 4-bit neighbourhood of zero wrapped into each
+argument's real type, plus that type's boundary values.
+
+Two properties make this sound for validation:
+
+* semantics come from :mod:`repro.core.constfold` — the same code the
+  interpreter and the constant folder use — so evaluation can never
+  disagree with execution on a concrete input;
+* inputs are genuine values of the argument's real type (the 4-bit
+  window is *wrapped*, not a semantic reinterpretation), so any
+  counterexample found here is a real, replayable miscompile.  Zero
+  false positives by construction.
+
+Undef is tracked symbolically as :data:`UNDEF` ("an unspecified value
+of the type"), propagated conservatively: an operation on UNDEF is
+UNDEF unless an absorbing concrete operand pins the result (``undef &
+0`` is 0, ``undef * 0`` is 0, ...); a branch or switch on UNDEF makes
+the whole outcome unspecified.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..core import types
+from ..core.constfold import ArithmeticFault, eval_binary, eval_cast, eval_shift
+from ..core.instructions import (
+    BINARY_OPCODES, COMPARISON_OPCODES, BinaryOperator, BranchInst, CastInst,
+    Instruction, Opcode, PhiNode, ReturnInst, ShiftInst, SwitchInst,
+)
+from ..core.module import Function
+from ..core.values import (
+    Argument, Constant, ConstantBool, ConstantFP, ConstantInt, UndefValue,
+    Value,
+)
+
+
+class Unsupported(Exception):
+    """The function is outside the exhaustive engine's fragment."""
+
+
+class _Undef:
+    """Singleton marker: an unspecified-but-fixed value of some type."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNDEF"
+
+
+UNDEF = _Undef()
+
+#: Opcodes the pure evaluator understands.  Everything else (memory,
+#: calls, exceptions, va_arg) is Unsupported.
+_PURE_OPCODES = frozenset(
+    {Opcode.RET, Opcode.BR, Opcode.SWITCH, Opcode.PHI, Opcode.CAST,
+     Opcode.SHL, Opcode.SHR} | BINARY_OPCODES
+)
+
+
+def _scalar_type(ty: types.Type) -> bool:
+    return ty.is_bool or ty.is_integer or ty.is_floating
+
+
+def supports(function: Function) -> bool:
+    """Can :func:`evaluate_function` run this function at all?"""
+    if function.is_declaration:
+        return False
+    if not (function.return_type.is_void or _scalar_type(function.return_type)):
+        return False
+    for arg in function.args:
+        if not _scalar_type(arg.type):
+            return False
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst.opcode not in _PURE_OPCODES:
+                return False
+            if isinstance(inst, CastInst):
+                if not _scalar_type(inst.type) or not _scalar_type(
+                        inst.value.type):
+                    return False
+    return True
+
+
+def _constant_value(constant: Constant):
+    if isinstance(constant, UndefValue):
+        return UNDEF
+    if isinstance(constant, ConstantInt):
+        return constant.value
+    if isinstance(constant, ConstantBool):
+        return constant.value
+    if isinstance(constant, ConstantFP):
+        return constant.value
+    raise Unsupported(f"constant kind {type(constant).__name__}")
+
+
+def _absorbed(inst: Instruction, lhs, rhs):
+    """Result pinned by a concrete absorbing operand despite UNDEF.
+
+    These are the identities a pass may legitimately exploit when it
+    simplifies around an undef operand; without them the evaluator
+    would call a correct transform's concrete result a narrowing of
+    undef — a false positive.
+    """
+    opcode = inst.opcode
+    ty = inst.type
+    if opcode == Opcode.AND:
+        for value in (lhs, rhs):
+            if value is not UNDEF and not value:
+                return value  # undef & 0 == 0 (and False for bool)
+    elif opcode == Opcode.OR:
+        for value in (lhs, rhs):
+            if value is UNDEF:
+                continue
+            if ty.is_bool and value is True:
+                return True
+            if ty.is_integer and value == ty.wrap(-1):
+                return value  # undef | ~0 == ~0
+    elif opcode == Opcode.MUL:
+        for value in (lhs, rhs):
+            if value is not UNDEF and value == 0:
+                return 0
+    return None
+
+
+def evaluate_function(function: Function, args: Sequence) -> tuple:
+    """Evaluate one input tuple; the outcome is one of
+
+    * ``("value", v)`` — terminated normally returning ``v`` (``None``
+      for void);
+    * ``("trap", kind)`` — a deterministic runtime fault;
+    * ``("undef", None)`` — the result (or the control path) depends
+      on an unspecified value.
+
+    Raises :class:`Unsupported` when the function leaves the pure
+    fragment (also used for dynamically discovered loops).
+    """
+    registers: dict[Value, object] = {}
+    for argument, value in zip(function.args, args):
+        registers[argument] = value
+
+    def read(value: Value):
+        if isinstance(value, (Argument, Instruction)):
+            return registers[value]
+        if isinstance(value, Constant):
+            return _constant_value(value)
+        raise Unsupported(f"operand kind {type(value).__name__}")
+
+    block = function.entry_block
+    previous = None
+    executed = 0
+    limit = len(function.blocks)
+    while True:
+        executed += 1
+        if executed > limit:
+            raise Unsupported("control-flow cycle")
+        # Phis read their incoming values simultaneously on entry.
+        phi_values = []
+        for phi in block.phis():
+            incoming = phi.incoming_for_block(previous)
+            if incoming is None:
+                raise Unsupported("phi without incoming for predecessor")
+            phi_values.append((phi, read(incoming)))
+        for phi, value in phi_values:
+            registers[phi] = value
+
+        for inst in block.instructions:
+            opcode = inst.opcode
+            if opcode == Opcode.PHI:
+                continue
+            if opcode == Opcode.RET:
+                value = inst.return_value
+                if value is None:
+                    return ("value", None)
+                result = read(value)
+                if result is UNDEF:
+                    return ("undef", None)
+                return ("value", result)
+            if opcode == Opcode.BR:
+                assert isinstance(inst, BranchInst)
+                if inst.is_conditional:
+                    condition = read(inst.condition)
+                    if condition is UNDEF:
+                        return ("undef", None)
+                    target = inst.operands[1] if condition else inst.operands[2]
+                else:
+                    target = inst.operands[0]
+                previous, block = block, target
+                break
+            if opcode == Opcode.SWITCH:
+                assert isinstance(inst, SwitchInst)
+                selector = read(inst.value)
+                if selector is UNDEF:
+                    return ("undef", None)
+                target = inst.default_dest
+                for case_value, dest in inst.cases:
+                    if case_value.value == selector:  # type: ignore[attr-defined]
+                        target = dest
+                        break
+                previous, block = block, target
+                break
+
+            if opcode in BINARY_OPCODES:
+                lhs = read(inst.operands[0])
+                rhs = read(inst.operands[1])
+                if lhs is UNDEF or rhs is UNDEF:
+                    pinned = _absorbed(inst, lhs, rhs)
+                    registers[inst] = UNDEF if pinned is None else pinned
+                    continue
+                try:
+                    registers[inst] = eval_binary(
+                        opcode, inst.operands[0].type, lhs, rhs)
+                except ArithmeticFault as fault:
+                    return ("trap", type(fault).__name__)
+                continue
+            if opcode in (Opcode.SHL, Opcode.SHR):
+                value = read(inst.operands[0])
+                amount = read(inst.operands[1])
+                if value is UNDEF or amount is UNDEF:
+                    # 0 shifted anywhere is 0, whatever the amount.
+                    registers[inst] = 0 if value == 0 else UNDEF
+                    continue
+                registers[inst] = eval_shift(
+                    opcode, inst.type, value, amount)  # type: ignore[arg-type]
+                continue
+            if opcode == Opcode.CAST:
+                value = read(inst.operands[0])
+                if value is UNDEF:
+                    registers[inst] = UNDEF
+                    continue
+                registers[inst] = eval_cast(
+                    inst.operands[0].type, inst.type, value)
+                continue
+            raise Unsupported(f"opcode {opcode.value}")
+        else:
+            raise Unsupported("block without terminator")
+
+
+# ----------------------------------------------------------------------
+# Input-domain enumeration
+# ----------------------------------------------------------------------
+
+#: The 4-bit window: every integer argument is exercised on the wrap of
+#: [-8, 8) into its own type, so narrow-width exhaustiveness transfers
+#: to every width for the value-range a peephole actually discriminates.
+_WINDOW = range(-8, 8)
+_CORE = (-2, -1, 0, 1, 2)
+_FLOAT_DOMAIN = (0.0, 1.0, -1.0, 2.5, -0.5)
+
+
+def argument_domain(ty: types.Type, core_only: bool = False) -> Optional[list]:
+    """Candidate concrete values for one argument, or None if the type
+    is outside the enumerable fragment (pointers, aggregates)."""
+    if ty.is_bool:
+        return [False, True]
+    if ty.is_integer:
+        window = _CORE if core_only else _WINDOW
+        values = {ty.wrap(v) for v in window}
+        values.update((ty.min_value, ty.max_value,
+                       ty.wrap(ty.min_value + 1), ty.wrap(ty.max_value - 1)))
+        return sorted(values)
+    if ty.is_floating:
+        return list(_FLOAT_DOMAIN if not core_only else _FLOAT_DOMAIN[:3])
+    return None
+
+
+def input_tuples(function: Function, max_tuples: int) -> Optional[list[tuple]]:
+    """Enumerate the exhaustive input set, or None when the domain
+    cannot be brought under ``max_tuples`` (the caller falls back to
+    the sampling engine and counts the function skipped-by-size)."""
+    for core_only in (False, True):
+        domains = []
+        for arg in function.args:
+            domain = argument_domain(arg.type, core_only)
+            if domain is None:
+                return None
+            domains.append(domain)
+        total = 1
+        for domain in domains:
+            total *= len(domain)
+            if total > max_tuples:
+                break
+        if total > max_tuples:
+            continue
+        tuples = [()]
+        for domain in domains:
+            tuples = [prefix + (value,) for prefix in tuples
+                      for value in domain]
+        return tuples
+    return None
+
+
+def outcomes_equal(lhs: tuple, rhs: tuple) -> bool:
+    """Outcome equality with NaN-tolerant value comparison."""
+    if lhs[0] != rhs[0]:
+        return False
+    if lhs[0] != "value":
+        return lhs == rhs
+    a, b = lhs[1], rhs[1]
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b

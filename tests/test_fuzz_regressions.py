@@ -74,6 +74,66 @@ entry:
                 and casts[0].type is types.LONG)
 
 
+def test_double_cast_corpus_program_through_validator():
+    """The original corpus entry, regenerated with the translation
+    validator riding along as a third oracle column: the (fixed) fold
+    must produce zero validation findings on top of the zero end-to-end
+    divergences."""
+    result = check_program("""
+extern int print_long(long x);
+long widen(int x) { return (long)(uint)x; }
+int main() {
+  print_long(widen(-5));
+  print_long(widen(2147483647));
+  return 0;
+}
+""", HarnessConfig(step_limit=1_000_000, translation_validate=True))
+    assert result.error is None, result.error
+    assert result.divergences == [], [
+        d.describe() for d in result.divergences]
+
+
+def test_validator_rejects_resurrected_double_cast_fold():
+    """Unit pin: the pre-fix fold (resurrected behind the test-only
+    ``unsafe_cast_fold`` switch) must be caught by the validator as a
+    refinement violation with a concrete counterexample — this is the
+    bug the fuzzer needed a whole oracle matrix to find, caught at the
+    pass boundary instead."""
+    from repro.transforms.instcombine import InstCombine
+    from repro.tvalid import FAILED, TranslationValidator
+
+    text = """
+long %widen(int %x) {
+entry:
+  %mid = cast int %x to uint
+  %wide = cast uint %mid to long
+  ret long %wide
+}
+"""
+    before = parse_module(text)
+    after = parse_module(text)
+    InstCombine(unsafe_cast_fold=True).run_on_function(
+        after.functions["widen"])
+    results = TranslationValidator().validate(before, after)
+    assert len(results) == 1
+    verdict = results[0]
+    assert verdict.status == FAILED
+    assert verdict.counterexample is not None
+    # Any negative int input witnesses the sign-vs-zero extension bug.
+    assert verdict.counterexample.args[0] < 0
+
+
+def test_cast_chain_verifier_rejects_buggy_triple():
+    """The synthesizer's cast auditor agrees: (long)(uint)(int x) is
+    not foldable to (long)x, with a concrete witness."""
+    from repro.tvalid.synth import verify_cast_chain
+
+    witness = verify_cast_chain(types.INT, types.UINT, types.LONG)
+    assert witness is not None
+    assert types.LONG.wrap(types.UINT.wrap(witness)) != types.LONG.wrap(
+        witness)
+
+
 def test_double_cast_narrowing_still_folds():
     """The legal half of the fold must keep working: narrowing or
     same-width outer casts ignore the middle reinterpretation."""
