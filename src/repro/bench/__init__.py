@@ -1,0 +1,25 @@
+"""lc-bench: compiler-throughput benchmarking.
+
+The paper's lifelong story (section 2.4) keeps the compiler running
+continuously — at link time, at install time, in the idle-time
+reoptimizer — which only pays off if the compiler itself is fast.  This
+package measures that: it times the toolchain's own hot phases
+(lex/parse, codegen, the optimizer pass by pass, verification, bytecode
+I/O, linking, cache lookup, and the transactional pass manager's
+snapshot machinery) over the benchmark suite, with warmup/repeat/median
+discipline, and emits a schema-versioned ``BENCH_<date>.json`` so the
+performance trajectory is machine-readable and CI-gateable
+(docs/BENCH.md).
+"""
+
+from .harness import (
+    SCHEMA, BenchConfig, calibrate, default_report_name, discover_examples,
+    run_bench, write_report,
+)
+from .compare import compare_runs, validate_schema
+
+__all__ = [
+    "SCHEMA", "BenchConfig", "calibrate", "compare_runs",
+    "default_report_name", "discover_examples", "run_bench",
+    "validate_schema", "write_report",
+]

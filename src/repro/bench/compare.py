@@ -1,0 +1,127 @@
+"""Baseline comparison: the teeth of the CI bench-gate.
+
+A committed baseline (``benchmarks/bench_baseline.json``) is compared
+against a fresh run.  Two kinds of regression are caught:
+
+* **structural** — the fresh run is missing a phase or a pass the
+  baseline covers (a timing silently dropped out of the harness), or
+  the schemas disagree;
+* **temporal** — a phase got slower than the baseline by more than the
+  tolerance band.
+
+Wall-clock comparisons across machines are noisy, so the band is
+deliberately generous and *calibrated*: baseline times are first scaled
+by the ratio of the two runs' ``calibration_seconds`` (a fixed
+pure-Python workload timed on each host), then a multiplicative
+tolerance is applied, and phases faster than an absolute floor are
+ignored entirely — sub-10ms timings are noise, not signal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .harness import SCHEMA
+
+#: A phase may be at most this many times slower than the (calibrated)
+#: baseline before the gate fails.
+DEFAULT_MAX_RATIO = 2.0
+#: Phases under this many baseline seconds are too small to gate on.
+DEFAULT_MIN_SECONDS = 0.010
+#: Calibration ratios are clamped here: a wildly different ratio means
+#: the calibration itself misfired, not that the machine is 20x slower.
+_SCALE_CLAMP = (0.2, 5.0)
+
+_REQUIRED_FIELDS = (
+    "schema", "created", "toolchain", "level", "warmup", "repeat",
+    "calibration_seconds", "programs", "phases", "passes", "total_seconds",
+)
+
+
+def validate_schema(report: dict) -> list[str]:
+    """Structural problems with one report (empty list = valid)."""
+    problems = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    for field in _REQUIRED_FIELDS:
+        if field not in report:
+            problems.append(f"missing field {field!r}")
+    if problems:
+        return problems
+    if report["schema"] != SCHEMA:
+        problems.append(
+            f"schema {report['schema']!r} is not {SCHEMA!r}")
+    for name, entry in report["phases"].items():
+        if "seconds" not in entry or "per_program" not in entry:
+            problems.append(f"phase {name!r} missing seconds/per_program")
+        elif not isinstance(entry["seconds"], (int, float)):
+            problems.append(f"phase {name!r} seconds is not a number")
+    for name, entry in report["passes"].items():
+        if "seconds" not in entry or "runs" not in entry:
+            problems.append(f"pass {name!r} missing seconds/runs")
+    if not isinstance(report["calibration_seconds"], (int, float)) \
+            or report["calibration_seconds"] <= 0:
+        problems.append("calibration_seconds is not a positive number")
+    return problems
+
+
+def compare_runs(current: dict, baseline: dict,
+                 max_ratio: float = DEFAULT_MAX_RATIO,
+                 min_seconds: float = DEFAULT_MIN_SECONDS,
+                 ) -> tuple[list[str], list[str]]:
+    """(regressions, notes) of ``current`` against ``baseline``.
+
+    ``regressions`` non-empty means the gate fails.  ``notes`` carries
+    the human-readable per-phase accounting either way.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    for label, report in (("current", current), ("baseline", baseline)):
+        for problem in validate_schema(report):
+            regressions.append(f"{label} report invalid: {problem}")
+    if regressions:
+        return regressions, notes
+
+    scale = current["calibration_seconds"] / baseline["calibration_seconds"]
+    clamped = min(max(_SCALE_CLAMP[0], scale), _SCALE_CLAMP[1])
+    notes.append(f"machine-speed scale: {scale:.3f} "
+                 f"(clamped to {clamped:.3f})")
+    scale = clamped
+
+    missing = sorted(set(baseline["phases"]) - set(current["phases"]))
+    for name in missing:
+        regressions.append(f"phase {name!r} covered by the baseline is "
+                           "missing from this run")
+    missing = sorted(set(baseline["passes"]) - set(current["passes"]))
+    for name in missing:
+        regressions.append(f"pass {name!r} covered by the baseline is "
+                           "missing from this run")
+
+    for name in sorted(set(baseline["phases"]) & set(current["phases"])):
+        base = baseline["phases"][name]["seconds"]
+        cur = current["phases"][name]["seconds"]
+        allowed = base * scale * max_ratio
+        if base < min_seconds:
+            notes.append(f"  {name:20s} {cur:8.4f}s (baseline {base:.4f}s, "
+                         "below gating floor)")
+            continue
+        verdict = "ok" if cur <= allowed else "REGRESSED"
+        notes.append(f"  {name:20s} {cur:8.4f}s vs allowed {allowed:8.4f}s "
+                     f"(baseline {base:.4f}s) {verdict}")
+        if cur > allowed:
+            regressions.append(
+                f"phase {name!r} regressed: {cur:.4f}s > "
+                f"{allowed:.4f}s allowed ({base:.4f}s baseline "
+                f"x {scale:.2f} scale x {max_ratio} tolerance)")
+    return regressions, notes
+
+
+def load_report(path: str) -> Optional[dict]:
+    """Parse one report file; None if unreadable or not JSON."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None

@@ -18,13 +18,22 @@ from .types import Type
 
 
 class Use:
-    """One operand slot of a user: the edge ``user.operands[index] -> value``."""
+    """One operand slot of a user: the edge ``user.operands[index] -> value``.
 
-    __slots__ = ("user", "index")
+    ``position`` is the back-link into ``value.uses`` that makes unlink
+    O(1): removal swaps the last use into this slot instead of scanning
+    (and shifting) the list, so ``replace_all_uses_with`` and
+    ``drop_all_references`` stay O(uses) even on high-fanout values.
+    The position is maintained exclusively by :class:`User`; nothing
+    else may mutate a use list.
+    """
+
+    __slots__ = ("user", "index", "position")
 
     def __init__(self, user: "User", index: int):
         self.user = user
         self.index = index
+        self.position = -1  # set when registered on a value's use list
 
     @property
     def value(self) -> "Value":
@@ -68,19 +77,27 @@ class Value:
 
 
 class User(Value):
-    """A value that references other values through operand slots."""
+    """A value that references other values through operand slots.
 
-    __slots__ = ("operands",)
+    ``operand_uses`` mirrors ``operands`` slot for slot, holding the
+    :class:`Use` edge registered on each operand's use list; it is what
+    lets :meth:`_unlink_use` find the edge without scanning.
+    """
+
+    __slots__ = ("operands", "operand_uses")
 
     def __init__(self, ty: Type, operands: Sequence[Value], name: str = ""):
         super().__init__(ty, name)
         self.operands: list[Value] = []
+        self.operand_uses: list[Use] = []
         for operand in operands:
             self._append_operand(operand)
 
     def _append_operand(self, value: Value) -> None:
         use = Use(self, len(self.operands))
         self.operands.append(value)
+        self.operand_uses.append(use)
+        use.position = len(value.uses)
         value.uses.append(use)
 
     def _pop_operands(self, start: int) -> None:
@@ -89,25 +106,37 @@ class User(Value):
             index = len(self.operands) - 1
             self._unlink_use(index)
             self.operands.pop()
+            self.operand_uses.pop()
 
     def _unlink_use(self, index: int) -> None:
+        """Unregister the use of operand ``index``: O(1) swap-remove.
+
+        The last use on the list moves into the vacated position (and
+        has its back-link patched), so no scan and no shifting happen
+        regardless of where on a high-fanout use list this edge sits.
+        """
         old = self.operands[index]
-        for position, use in enumerate(old.uses):
-            if use.user is self and use.index == index:
-                del old.uses[position]
-                break
+        use = self.operand_uses[index]
+        last = old.uses[-1]
+        old.uses[use.position] = last
+        last.position = use.position
+        old.uses.pop()
+        use.position = -1
 
     def set_operand(self, index: int, value: Value) -> None:
         """Replace operand ``index``, keeping use-lists consistent."""
         self._unlink_use(index)
+        use = self.operand_uses[index]
         self.operands[index] = value
-        value.uses.append(Use(self, index))
+        use.position = len(value.uses)
+        value.uses.append(use)
 
     def drop_all_references(self) -> None:
         """Detach this user from all of its operands (before deletion)."""
         for index in range(len(self.operands)):
             self._unlink_use(index)
         self.operands.clear()
+        self.operand_uses.clear()
 
 
 class Argument(Value):

@@ -6,34 +6,56 @@ reoptimizer.  A component that runs forever *will* eventually meet a
 pass bug, a corrupted artifact, or a pathological input; this module
 makes that an isolable, reportable event instead of a process abort.
 
-Every transform pass runs inside a **transaction**:
+Every transform pass runs inside a **transaction**, at the granularity
+matching its contract:
 
-1. snapshot the module (a bytecode round-trip — the cheapest faithful
-   deep copy in the system, and deterministic);
-2. run the pass under a step/time budget (a watchdog preempts runaway
-   passes from inside);
-3. verify the result.
+* A **function pass** is a sequence of per-function transactions.  The
+  snapshot is the function's printed text (cached across passes, so an
+  untouched function is snapshotted once, not once per pass); the pass
+  runs under a step/time budget (a watchdog preempts runaway passes
+  from inside); then the post-pass text is compared against the
+  snapshot and re-verification plus translation validation run *only
+  when the digest actually moved*.  A function the pass honestly
+  reports not changing costs nothing at all — the changed flag is kept
+  honest project-wide by the ``verify_each`` digest audit
+  (:class:`repro.transforms.passmanager.ChangedFlagLie`) and the fuzzer.
+  On a failure, only the guilty function is rolled back — rebuilt from
+  its snapshot text via the linker's cross-module graft
+  (``materialize_function``) — and the sweep continues with the next
+  function, so one poisoned function no longer costs the whole module
+  its optimization, and no full-module serialization happens on the
+  happy path at all.
 
-On an exception, a verifier failure, or budget exhaustion the module is
-rolled back to the snapshot, the pass is marked *poisoned* for that
-function or module, a structured :class:`CrashReport` (with a
-bugpoint-reduced IR testcase) is recorded, and the pipeline continues —
-semantics preserved, just less optimized.  A failing *function* pass is
-retried once at function granularity so only the guilty function loses
-its optimization; a failing *module* pass is bisected to name the
-function that kills it before being skipped.  The
+* A **module pass** transacts over full-module bytecode (the cheapest
+  faithful deep copy in the system, and deterministic).  The pre-pass
+  snapshot is reused from the previous transaction when nothing has
+  changed in between, and re-verification is skipped when the post-pass
+  serialization is byte-identical to the snapshot.
+
+On an exception, a verifier failure, or budget exhaustion the failed
+unit is rolled back, the pass is marked *poisoned* for that function or
+module, a structured :class:`CrashReport` (with a bugpoint-reduced IR
+testcase) is recorded, and the pipeline continues — semantics
+preserved, just less optimized.  A failing *module* pass is bisected to
+name the function that kills it before being skipped.  The
 :class:`FaultPolicy` owns the knobs and the ``-stats`` counters
 (``passes.rolled_back``, ``crashes.reported``, ``fallbacks.taken``).
 
-With ``translation_validate`` on, step 3 grows a fourth obligation:
-every function a *function* pass changed is checked for refinement
-against the pre-pass snapshot (:mod:`repro.tvalid`).  A refinement
-violation is handled exactly like a crash — rollback, per-function
-retry, poison, structured report with a bugpoint-reduced testcase that
-still fails validation — except the report also carries the concrete
-counterexample input.  Module (interprocedural) passes are exempt:
-their rewrites may be justified by call-site context that per-function
-refinement cannot see (docs/ANALYSIS.md).
+With ``translation_validate`` on, every function a *function* pass
+actually changed is checked for refinement against its snapshot text
+(:mod:`repro.tvalid`), co-executed in a carrier module that shares the
+live module's globals and other functions.  A refinement violation is
+handled exactly like a crash — rollback, poison, structured report with
+a bugpoint-reduced testcase that still fails validation — except the
+report also carries the concrete counterexample input.  Module
+(interprocedural) passes are exempt: their rewrites may be justified by
+call-site context that per-function refinement cannot see
+(docs/ANALYSIS.md).
+
+Rollback itself is trusted machinery: like snapshot serialization, a
+failure *inside* restore still raises, by design — it would mean the
+pre-pass state cannot be reproduced, which no amount of containment can
+paper over.
 """
 
 from __future__ import annotations
@@ -48,8 +70,9 @@ from typing import Optional
 
 from ..bitcode import read_bytecode, write_bytecode
 from ..core.module import Module
+from ..core.printer import print_function
 from ..core.verifier import verify_function, verify_module
-from ..transforms.passmanager import PassManager
+from ..transforms.passmanager import PassManager, PassTimings
 from ..tvalid.validate import (
     FAILED as _VALIDATION_FAILED, TranslationValidationError,
     TranslationValidator, ValidationConfig,
@@ -78,6 +101,40 @@ def restore_module(module: Module, snapshot: bytes) -> None:
     module.named_types = restored.named_types
     for symbol in (*module.globals.values(), *module.functions.values()):
         symbol.parent = module
+
+
+def snapshot_function(function) -> str:
+    """The per-function transaction snapshot: the function's text.
+
+    Text rather than a structural clone because it is what the digest
+    comparison needs anyway, it costs nothing to keep across passes,
+    and the print -> parse round trip is byte-exact (pinned by the
+    differential fuzzer), so it can faithfully rebuild the function on
+    the rare rollback path.
+    """
+    return print_function(function)
+
+
+def restore_function(module: Module, function, snapshot: str) -> None:
+    """Roll one function back to its snapshot text, in place.
+
+    The snapshot is re-parsed in ``module``'s symbol/type space
+    (:func:`repro.linker.linker.materialize_function`) and its body
+    transplanted into the live function object, so every call site and
+    vtable entry referencing the function stays valid.
+    """
+    from ..linker.linker import materialize_function
+
+    rebuilt = materialize_function(module, snapshot)
+    function.delete_body()
+    function.args = rebuilt.args
+    for arg in function.args:
+        arg.parent = function
+    function.blocks = rebuilt.blocks
+    for block in function.blocks:
+        block.parent = function
+    rebuilt.args = []
+    rebuilt.blocks = []
 
 
 class _Watchdog:
@@ -295,15 +352,6 @@ def _fresh_pass(pass_obj):
         return pass_obj
 
 
-def _validatable(pass_obj) -> bool:
-    """Translation validation applies to *function* passes: a module
-    pass may rewrite a function using call-site facts (IPCP
-    specializing a body for its only caller), which per-function
-    refinement cannot justify."""
-    return (hasattr(pass_obj, "run_on_function")
-            and not hasattr(pass_obj, "run_on_module"))
-
-
 def _run_pass_plain(pass_obj, module: Module) -> bool:
     if hasattr(pass_obj, "run_on_module"):
         return pass_obj.run_on_module(module)
@@ -323,14 +371,25 @@ class TransactionalPassManager(PassManager):
     mean the *input* module is broken; that still raises, by design.)
     """
 
-    def __init__(self, policy: FaultPolicy):
-        super().__init__(verify_each=False)
+    def __init__(self, policy: FaultPolicy,
+                 timings: Optional[PassTimings] = None):
+        super().__init__(verify_each=False, timings=timings)
         self.policy = policy
         #: Passes module-poisoned during this manager's run() calls —
         #: what the degradation ladder consults.
         self.poisoned_in_run = 0
+        #: Per-function snapshot texts describing the module's current
+        #: state: the change-detection digest *and* the rollback source.
+        self._snapshots: dict[str, str] = {}
+        #: Full-module bytecode of the current state, when still valid;
+        #: lets consecutive module passes share one serialization.
+        self._module_snapshot: Optional[bytes] = None
 
     def run(self, module: Module) -> bool:
+        # The caches only describe mutations made through this manager;
+        # between run() calls other components may touch the module.
+        self._snapshots.clear()
+        self._module_snapshot = None
         changed = False
         for pass_obj in self.passes:
             name = _pass_name(pass_obj)
@@ -338,40 +397,108 @@ class TransactionalPassManager(PassManager):
                 self.policy.count("passes.skipped")
                 continue
             start = time.perf_counter()
-            if self._transact(pass_obj, name, module):
-                changed = True
+            if hasattr(pass_obj, "run_on_module"):
+                this_changed = self._transact_module_pass(
+                    pass_obj, name, module)
+            else:
+                this_changed = self._transact_function_pass(
+                    pass_obj, name, module)
+            # Containment work (rollback, bisection, reduction) bills
+            # to the pass that caused it.
             self.timings.record(name, time.perf_counter() - start)
+            changed |= this_changed
         return changed
 
-    # -- one transaction ----------------------------------------------------
+    # -- function-pass transactions ----------------------------------------
 
-    def _transact(self, pass_obj, name: str, module: Module) -> bool:
+    def _transact_function_pass(self, pass_obj, name: str,
+                                module: Module) -> bool:
         policy = self.policy
-        snapshot = snapshot_module(module)
+        changed = False
+        guilty: list[str] = []
+        first_error: Optional[Exception] = None
+        # With per-function retry disabled the whole pass is one
+        # transaction: track what it changed so a failure undoes it all.
+        undo_log = ([] if not policy.retry_function_granularity else None)
         try:
-            with _Watchdog(policy.pass_time_budget, policy.pass_step_budget):
-                self._check_injection(name)
-                changed = self._run_guarded(pass_obj, name, module)
-            if policy.verify_after_each:
-                verify_module(module)
-            if (changed and policy.translation_validate
-                    and _validatable(pass_obj)):
-                self._validate_changes(name, module, snapshot)
-            return changed
+            self._check_injection(name)
         except Exception as error:
-            restore_module(module, snapshot)
+            # The armed fault for this pass's site fires before any
+            # function is touched, so there is nothing to roll back;
+            # the per-function sweep below doubles as the retry.
             policy.count("passes.rolled_back")
-            return self._contain(pass_obj, name, module, snapshot, error)
+            first_error = error
+        for function in list(module.defined_functions()):
+            fn_name = function.name
+            if policy.is_poisoned(name, module.name, fn_name):
+                continue
+            snapshot = self._snapshots.get(fn_name)
+            if snapshot is None:
+                snapshot = snapshot_function(function)
+                self._snapshots[fn_name] = snapshot
+            try:
+                with _Watchdog(policy.pass_time_budget,
+                               policy.pass_step_budget):
+                    claimed = pass_obj.run_on_function(function)
+                if not claimed:
+                    # An honest "no change" costs nothing.  The flag is
+                    # kept honest project-wide by the verify-each digest
+                    # audit (ChangedFlagLie) and the fuzzer.
+                    continue
+                post = snapshot_function(function)
+                if post == snapshot:
+                    continue  # over-reported: skip re-verify and tvalid
+                if policy.verify_after_each:
+                    verify_function(function)
+                if policy.translation_validate:
+                    self._validate_function(name, module, function, snapshot)
+                if undo_log is not None:
+                    undo_log.append((function, snapshot))
+                self._snapshots[fn_name] = post
+                self._module_snapshot = None
+                changed = True
+            except Exception as error:
+                restore_function(module, function, snapshot)
+                policy.count("passes.rolled_back")
+                if first_error is None:
+                    first_error = error
+                if undo_log is not None:
+                    for done, done_snapshot in reversed(undo_log):
+                        restore_function(module, done, done_snapshot)
+                        self._snapshots[done.name] = done_snapshot
+                    self._contain_module_level(pass_obj, name, module,
+                                               first_error)
+                    return False
+                guilty.append(fn_name)
+        if guilty or first_error is not None:
+            self._contain_function_pass(pass_obj, name, module, guilty,
+                                        first_error)
+        return changed
 
-    def _validate_changes(self, name: str, module: Module, snapshot: bytes,
-                          only_function: Optional[str] = None) -> None:
-        """Check refinement of every changed function against the
-        snapshot; count verdicts; raise on the first violation."""
+    def _validate_function(self, name: str, module: Module, function,
+                           snapshot: str) -> None:
+        """Refinement-check one changed function against its snapshot
+        text; count verdicts; raise on a violation.
+
+        The "before" side is the snapshot re-materialized in the live
+        module's symbol space, co-executed in a carrier module sharing
+        the live globals and every *other* function — so callee
+        differences cancel and the check isolates this function's
+        change (modular refinement: callees are validated separately).
+        """
+        from ..linker.linker import materialize_function
+
         policy = self.policy
-        before = read_bytecode(snapshot)
+        before_fn = materialize_function(module, snapshot)
+        carrier = Module(module.name, module.data_layout)
+        carrier.globals = module.globals
+        carrier.named_types = module.named_types
+        carrier.functions = dict(module.functions)
+        carrier.functions[function.name] = before_fn
+        before_fn.parent = carrier
         failure = None
-        for result in policy.validator().validate(before, module,
-                                                  only_function):
+        for result in policy.validator().validate(carrier, module,
+                                                  function.name):
             if result.status in (_VALIDATION_FAILED, "passed"):
                 policy.count("validations.run")
                 policy.count(f"validations.{result.status}")
@@ -382,17 +509,36 @@ class TransactionalPassManager(PassManager):
         if failure is not None:
             raise TranslationValidationError(name, failure)
 
-    def _run_guarded(self, pass_obj, name: str, module: Module) -> bool:
-        """Run the pass, honouring per-function poison marks."""
-        if hasattr(pass_obj, "run_on_module"):
-            return pass_obj.run_on_module(module)
-        changed = False
-        for function in list(module.defined_functions()):
-            if self.policy.is_poisoned(name, module.name, function.name):
-                continue
-            if pass_obj.run_on_function(function):
-                changed = True
-        return changed
+    # -- module-pass transactions -------------------------------------------
+
+    def _transact_module_pass(self, pass_obj, name: str,
+                              module: Module) -> bool:
+        policy = self.policy
+        snapshot = self._module_snapshot
+        if snapshot is None:
+            snapshot = snapshot_module(module)
+            self._module_snapshot = snapshot
+        try:
+            with _Watchdog(policy.pass_time_budget, policy.pass_step_budget):
+                self._check_injection(name)
+                claimed = pass_obj.run_on_module(module)
+            if not claimed:
+                return False  # snapshot cache stays valid
+            post = snapshot_module(module)
+            if post == snapshot:
+                return False  # over-reported: skip re-verification
+            if policy.verify_after_each:
+                verify_module(module)
+            self._module_snapshot = post
+            self._snapshots.clear()  # function bodies may have moved
+            return True
+        except Exception as error:
+            restore_module(module, snapshot)
+            self._module_snapshot = snapshot
+            policy.count("passes.rolled_back")
+            self._contain_module_level(pass_obj, name, module, error,
+                                       snapshot)
+            return False
 
     @staticmethod
     def _check_injection(name: str) -> None:
@@ -402,27 +548,36 @@ class TransactionalPassManager(PassManager):
 
     # -- containment --------------------------------------------------------
 
-    def _contain(self, pass_obj, name: str, module: Module,
-                 snapshot: bytes, error: Exception) -> bool:
-        """The degraded path: retry, poison, report.  Returns whether
-        the retry changed the module."""
+    def _contain_function_pass(self, pass_obj, name: str, module: Module,
+                               guilty: list, error: Exception) -> None:
+        """Function-granularity containment: poison the guilty
+        functions, report once per (pass, run)."""
         policy = self.policy
-        changed = False
-        guilty: Optional[str] = None
-        is_function_pass = (hasattr(pass_obj, "run_on_function")
-                            and not hasattr(pass_obj, "run_on_module"))
-        if is_function_pass and policy.retry_function_granularity:
-            policy.count("retries.function")
-            changed, guilty_functions = self._retry_per_function(
-                pass_obj, name, module)
-            for function_name in guilty_functions:
-                policy.poison(name, module.name, function_name)
-                self.poisoned_in_run += 1
-            guilty = guilty_functions[0] if guilty_functions else None
-        else:
-            guilty = self._bisect_module_pass(pass_obj, snapshot)
-            policy.poison(name, module.name)
+        policy.count("retries.function")
+        for function_name in guilty:
+            policy.poison(name, module.name, function_name)
             self.poisoned_in_run += 1
+        self._record_crash(pass_obj, name, module,
+                           guilty[0] if guilty else None, error)
+
+    def _contain_module_level(self, pass_obj, name: str, module: Module,
+                              error: Exception,
+                              snapshot: Optional[bytes] = None) -> None:
+        """Module-granularity containment: bisect for attribution,
+        poison the pass module-wide, report."""
+        policy = self.policy
+        if snapshot is None and policy.reduce_testcases:
+            snapshot = snapshot_module(module)
+        guilty = (self._bisect_module_pass(pass_obj, snapshot)
+                  if snapshot is not None else None)
+        policy.poison(name, module.name)
+        self.poisoned_in_run += 1
+        self._record_crash(pass_obj, name, module, guilty, error, snapshot)
+
+    def _record_crash(self, pass_obj, name: str, module: Module,
+                      guilty: Optional[str], error: Exception,
+                      snapshot: Optional[bytes] = None) -> None:
+        policy = self.policy
         report = CrashReport(
             pass_name=name, module=module.name, function=guilty,
             error_type=type(error).__name__, error_message=str(error),
@@ -430,6 +585,11 @@ class TransactionalPassManager(PassManager):
                 type(error), error, error.__traceback__)),
         )
         if policy.reduce_testcases and self._is_deterministic(error):
+            # The module is back in a reproducing state (guilty
+            # functions rolled back), so snapshot it now if containment
+            # did not already have one.
+            if snapshot is None:
+                snapshot = snapshot_module(module)
             reduced = self._reduce_testcase(
                 pass_obj, snapshot,
                 validate=isinstance(error, TranslationValidationError))
@@ -441,7 +601,6 @@ class TransactionalPassManager(PassManager):
                     f.instruction_count()
                     for f in reduced.defined_functions())
         policy.record(report)
-        return changed
 
     @staticmethod
     def _is_deterministic(error: Exception) -> bool:
@@ -453,35 +612,6 @@ class TransactionalPassManager(PassManager):
         from ..fuzz.faultinject import InjectedFault
 
         return not isinstance(error, InjectedFault)
-
-    def _retry_per_function(self, pass_obj, name: str,
-                            module: Module) -> tuple[bool, list[str]]:
-        """Re-run a failed function pass one function at a time; only
-        the functions that kill it stay unoptimized (and poisoned)."""
-        policy = self.policy
-        changed = False
-        guilty: list[str] = []
-        for function_name in [f.name for f in module.defined_functions()]:
-            function = module.functions.get(function_name)
-            if function is None or function.is_declaration:
-                continue
-            if policy.is_poisoned(name, module.name, function_name):
-                continue
-            snapshot = snapshot_module(module)
-            try:
-                with _Watchdog(policy.pass_time_budget,
-                               policy.pass_step_budget):
-                    function_changed = pass_obj.run_on_function(function)
-                if policy.verify_after_each:
-                    verify_function(function)
-                if function_changed and policy.translation_validate:
-                    self._validate_changes(name, module, snapshot,
-                                           only_function=function_name)
-                changed |= function_changed
-            except Exception:
-                restore_module(module, snapshot)
-                guilty.append(function_name)
-        return changed, guilty
 
     def _bisect_module_pass(self, pass_obj, snapshot: bytes) -> Optional[str]:
         """Name the function that kills a module-level pass: run a

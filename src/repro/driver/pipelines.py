@@ -23,6 +23,7 @@ from ..transforms import (
     InstCombine, LICM, PassManager, PromoteMem2Reg, Reassociate, SCCP,
     ScalarReplAggregates, SimplifyCFG, TailRecursionElimination,
 )
+from ..transforms.passmanager import PassTimings
 from ..transforms.ipo import (
     DeadArgumentElimination, DeadGlobalElimination, Devirtualize,
     FunctionInlining, HeapToStackPromotion, Internalize,
@@ -31,18 +32,22 @@ from ..transforms.ipo import (
 
 
 def standard_pipeline(level: int = 2, verify_each: bool = False,
-                      policy: Optional[FaultPolicy] = None) -> PassManager:
+                      policy: Optional[FaultPolicy] = None,
+                      timings: Optional[PassTimings] = None) -> PassManager:
     """The per-module pipeline for an optimization level (0-3).
 
     With a :class:`FaultPolicy` the pipeline is *transactional*: each
     pass runs under snapshot/rollback crash containment
     (docs/ROBUSTNESS.md) instead of letting a pass failure abort the
-    build.
+    build.  ``timings`` may supply a shared sink so one ``-time-passes``
+    report covers every manager a driver invocation creates (each pass
+    execution is recorded exactly once, by the manager that ran it).
     """
     if policy is not None:
-        manager: PassManager = TransactionalPassManager(policy)
+        manager: PassManager = TransactionalPassManager(policy,
+                                                        timings=timings)
     else:
-        manager = PassManager(verify_each=verify_each)
+        manager = PassManager(verify_each=verify_each, timings=timings)
     if level <= 0:
         return manager
     # SSA construction as the paper prescribes: scalar expansion, then
@@ -78,7 +83,8 @@ def standard_pipeline(level: int = 2, verify_each: bool = False,
 
 def optimize_module(module: Module, level: int = 2,
                     verify_each: bool = False,
-                    policy: Optional[FaultPolicy] = None) -> Module:
+                    policy: Optional[FaultPolicy] = None,
+                    timings: Optional[PassTimings] = None) -> Module:
     """Run the standard pipeline in place; returns the module.
 
     With a :class:`FaultPolicy`, runs the fault-tolerant degradation
@@ -90,14 +96,14 @@ def optimize_module(module: Module, level: int = 2,
     the floor: the unoptimized module is always correct.
     """
     if policy is None:
-        standard_pipeline(level, verify_each).run(module)
+        standard_pipeline(level, verify_each, timings=timings).run(module)
         return module
     pristine = snapshot_module(module)
     for attempt in range(level, -1, -1):
         if attempt == 0:
             restore_module(module, pristine)
             return module
-        manager = standard_pipeline(attempt, policy=policy)
+        manager = standard_pipeline(attempt, policy=policy, timings=timings)
         manager.run(module)
         if manager.poisoned_in_run <= policy.max_poisoned_passes:
             return module
@@ -109,12 +115,14 @@ def optimize_module(module: Module, level: int = 2,
 def lto_pipeline(internalize: bool = True,
                  preserved: Sequence[str] = ("main",),
                  verify_each: bool = False,
-                 policy: Optional[FaultPolicy] = None) -> PassManager:
+                 policy: Optional[FaultPolicy] = None,
+                 timings: Optional[PassTimings] = None) -> PassManager:
     """The interprocedural pass sequence of the link-time optimizer."""
     if policy is not None:
-        manager: PassManager = TransactionalPassManager(policy)
+        manager: PassManager = TransactionalPassManager(policy,
+                                                        timings=timings)
     else:
-        manager = PassManager(verify_each=verify_each)
+        manager = PassManager(verify_each=verify_each, timings=timings)
     if internalize:
         manager.add(Internalize(preserved))
     manager.add(Devirtualize())
@@ -131,16 +139,19 @@ def link_time_optimize(module: Module, level: int = 2,
                        internalize: bool = True,
                        preserved: Sequence[str] = ("main",),
                        verify_each: bool = False,
-                       policy: Optional[FaultPolicy] = None) -> Module:
+                       policy: Optional[FaultPolicy] = None,
+                       timings: Optional[PassTimings] = None) -> Module:
     """The link-time interprocedural optimizer (paper section 3.3)."""
-    manager = lto_pipeline(internalize, preserved, verify_each, policy)
+    manager = lto_pipeline(internalize, preserved, verify_each, policy,
+                           timings=timings)
     manager.run(module)
     if level > 0:
         # A scalar cleanup round over the post-IPO bodies, then one more
         # IPO round to exploit what the cleanup exposed.
-        optimize_module(module, level, verify_each, policy)
+        optimize_module(module, level, verify_each, policy, timings=timings)
         manager.run(module)
-        optimize_module(module, min(level, 2), verify_each, policy)
+        optimize_module(module, min(level, 2), verify_each, policy,
+                        timings=timings)
     return module
 
 

@@ -13,6 +13,7 @@
 | lc-fuzz   | (csmith)        | differential fuzzer across every oracle pair |
 | lc-bugpoint | bugpoint      | bisect the guilty pass, reduce the program |
 | lc-synth  | (souper)        | synthesize + exhaustively verify peephole rules |
+| lc-bench  | (llvm-bench)    | time the compiler's own hot phases, emit BENCH json |
 
 Each accepts ``-`` for stdin/stdout where that makes sense.  Installed
 as console scripts; also callable as ``python -m repro.tools <tool>``.
@@ -273,28 +274,37 @@ def lc_opt(argv=None) -> int:
     module = _read_module(args.input)
     policy = _make_fault_policy(args)
     managers = []
+    # One shared timing sink across every manager this invocation
+    # creates (ladder attempts included), so -time-passes emits a
+    # single report in which each pass appears exactly once.
+    from .transforms.passmanager import PassTimings
+
+    timings = PassTimings()
     with _armed(args, parser):
         if args.level is not None:
             from .driver.pipelines import optimize_module as _optimize
 
             if policy is not None:
                 # The full ladder: transactional attempts, -O fallback.
-                _optimize(module, args.level, policy=policy)
+                _optimize(module, args.level, policy=policy,
+                          timings=timings)
             else:
                 from .driver.pipelines import standard_pipeline
 
-                manager = standard_pipeline(args.level, args.verify_each)
+                manager = standard_pipeline(args.level, args.verify_each,
+                                            timings=timings)
                 manager.run(module)
                 managers.append(manager)
         if args.passes:
             if policy is not None:
                 from .driver import TransactionalPassManager
 
-                manager = TransactionalPassManager(policy)
+                manager = TransactionalPassManager(policy, timings=timings)
             else:
                 from .transforms import PassManager
 
-                manager = PassManager(verify_each=args.verify_each)
+                manager = PassManager(verify_each=args.verify_each,
+                                      timings=timings)
             registry = _pass_registry()
             for name in args.passes.split(","):
                 name = name.strip()
@@ -316,12 +326,11 @@ def lc_opt(argv=None) -> int:
         if policy is not None:
             _print_stats({policy.name: policy.statistics()})
     if args.time_passes:
-        for manager in managers:
-            report = manager.timings.report()
-            if report:
-                print("===" + "-" * 18 + " pass timings " + "-" * 18 + "===",
-                      file=sys.stderr)
-                print(report, file=sys.stderr)
+        report = timings.report()
+        if report:
+            print("===" + "-" * 18 + " pass timings " + "-" * 18 + "===",
+                  file=sys.stderr)
+            print(report, file=sys.stderr)
     _write_module(module, args.o, args.binary)
     return 0
 
@@ -846,10 +855,109 @@ def lc_synth(argv=None) -> int:
     return 1 if report.cast_problems else 0
 
 
+def lc_bench(argv=None) -> int:
+    """Benchmark the compiler's own throughput, phase by phase.
+
+    Exit codes: 0 = run complete (and within tolerance when a baseline
+    was given), 1 = regression against the baseline, 2 = usage error.
+    """
+    parser = argparse.ArgumentParser(
+        prog="lc-bench",
+        description="compiler-throughput benchmark: lex/parse, codegen, "
+                    "per-pass optimization, verify, bytecode I/O, cache, "
+                    "link, and the transactional snapshot machinery, "
+                    "median-of-N over the benchmark suite; emits a "
+                    "schema-versioned BENCH_<date>.json (docs/BENCH.md)",
+    )
+    parser.add_argument("--programs", default=None,
+                        help="comma list of benchsuite programs "
+                             "(default: the whole suite)")
+    parser.add_argument("--examples", default=None, metavar="DIR",
+                        help="also bench .lc programs under DIR (a "
+                             "subdirectory with several .lc files is one "
+                             "multi-TU link workload)")
+    parser.add_argument("-O", type=int, default=2, dest="level",
+                        help="optimization level for the pipeline phases")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timed runs per phase (median is reported)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="throwaway runs before timing")
+    parser.add_argument("--no-transactional", action="store_true",
+                        dest="no_transactional",
+                        help="skip the transact.O<N> phase")
+    parser.add_argument("-o", default=None,
+                        help="report path (default BENCH_<date>.json; "
+                             "'-' prints to stdout only)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="compare against this baseline report and "
+                             "exit 1 on regression (the CI bench-gate)")
+    parser.add_argument("--max-ratio", type=float, default=None,
+                        help="tolerance multiplier for --baseline "
+                             "(default 2.0)")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    from .bench import BenchConfig, compare_runs, discover_examples
+    from .bench import run_bench, write_report
+    from .bench.compare import DEFAULT_MAX_RATIO, load_report
+    from .benchsuite import benchmark_names
+
+    config = BenchConfig(level=args.level, warmup=args.warmup,
+                         repeat=args.repeat,
+                         transactional=not args.no_transactional)
+    if args.programs:
+        names = [name.strip() for name in args.programs.split(",")]
+        known = set(benchmark_names())
+        for name in names:
+            if name not in known:
+                parser.error(f"unknown benchsuite program {name!r}")
+        config.programs = names
+    if args.examples:
+        config.extra_programs = discover_examples(args.examples)
+
+    def progress(name):
+        if not args.quiet:
+            print(f"lc-bench: {name}", file=sys.stderr)
+
+    report = run_bench(config, progress)
+    if args.o == "-":
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        path = write_report(report, args.o)
+        if not args.quiet:
+            print(f"lc-bench: wrote {path}", file=sys.stderr)
+    if not args.quiet:
+        for phase, entry in sorted(report["phases"].items()):
+            print(f"lc-bench: {phase:20s} {entry['seconds']:8.4f}s",
+                  file=sys.stderr)
+
+    if args.baseline is None:
+        return 0
+    baseline = load_report(args.baseline)
+    if baseline is None:
+        print(f"lc-bench: cannot read baseline {args.baseline!r}",
+              file=sys.stderr)
+        return 2
+    max_ratio = args.max_ratio if args.max_ratio else DEFAULT_MAX_RATIO
+    regressions, notes = compare_runs(report, baseline, max_ratio=max_ratio)
+    if not args.quiet:
+        for note in notes:
+            print(f"lc-bench: {note}", file=sys.stderr)
+    for regression in regressions:
+        print(f"lc-bench: REGRESSION: {regression}", file=sys.stderr)
+    if not args.quiet:
+        status = "FAILED" if regressions else "ok"
+        print(f"lc-bench: gate {status} ({len(regressions)} regression(s))",
+              file=sys.stderr)
+    return 1 if regressions else 0
+
+
 _TOOLS = {
     "cc": lc_cc, "as": lc_as, "dis": lc_dis, "opt": lc_opt,
     "link": lc_link, "run": lc_run, "llc": lc_llc, "lint": lc_lint,
     "fuzz": lc_fuzz, "bugpoint": lc_bugpoint, "synth": lc_synth,
+    "bench": lc_bench,
 }
 
 

@@ -37,16 +37,20 @@ class LICM:
     def _process_loop(self, function: Function, loop: Loop,
                       domtree: DominatorTree) -> bool:
         preheader = loop.preheader()
+        created = False
         if preheader is None:
             preheader = _create_preheader(function, loop)
             if preheader is None:
                 return False
+            # The rewiring alone (new block, phi and branch edits) is a
+            # change, whether or not anything hoists into it.
+            created = True
         loop_writes_memory = any(
             inst.may_write_memory()
             for block in loop.blocks
             for inst in block.instructions
         )
-        changed = False
+        changed = created
         moved = True
         while moved:
             moved = False

@@ -5,6 +5,15 @@ front-ends to use them" (paper section 3.2); the pass manager is that
 library interface.  Passes are callables reporting whether they changed
 anything; the manager sequences them, optionally re-verifying after
 each pass so that a mis-transforming pass fails loudly at its own site.
+
+The changed flag each pass returns is load-bearing: fixpoint drivers
+stop iterating on it, and managers skip re-verification on the strength
+of a ``False``.  ``verify_each`` mode therefore *audits* the flag with
+a serialization digest taken after every pass: a pass that mutates the
+module while reporting "no change" raises :class:`ChangedFlagLie` at
+its own site instead of shipping unverified IR, and a pass that
+over-reports (claims a change but moved nothing) skips the redundant
+re-verify.
 """
 
 from __future__ import annotations
@@ -14,6 +23,29 @@ from typing import Callable, Optional, Protocol, Sequence
 
 from ..core.module import Function, Module
 from ..core.verifier import verify_function, verify_module
+
+
+class ChangedFlagLie(Exception):
+    """A pass mutated the module while reporting "no change"."""
+
+    def __init__(self, pass_name: str):
+        super().__init__(
+            f"pass {pass_name!r} changed the module but reported no change")
+        self.pass_name = pass_name
+
+
+def _module_digest(module: Module) -> bytes:
+    """Cheap change detector: a hash of the serialized module.
+
+    Bytecode rather than text, because the bytecode carries flags the
+    printer does not (function purity), so a pass cannot change
+    anything observable without moving the digest.
+    """
+    from hashlib import sha256
+
+    from ..bitcode import write_bytecode
+
+    return sha256(write_bytecode(module, strip_names=False)).digest()
 
 
 class FunctionPass(Protocol):
@@ -52,10 +84,13 @@ class PassTimings:
 class PassManager:
     """Runs a sequence of module/function passes over a module."""
 
-    def __init__(self, verify_each: bool = False):
+    def __init__(self, verify_each: bool = False,
+                 timings: Optional[PassTimings] = None):
         self.passes: list[object] = []
         self.verify_each = verify_each
-        self.timings = PassTimings()
+        # A caller may pass a shared sink so one -time-passes report
+        # covers every manager a driver invocation creates.
+        self.timings = timings if timings is not None else PassTimings()
 
     def add(self, pass_obj) -> "PassManager":
         if not hasattr(pass_obj, "run_on_function") and not hasattr(pass_obj, "run_on_module"):
@@ -65,7 +100,9 @@ class PassManager:
 
     def run(self, module: Module) -> bool:
         changed = False
+        digest = _module_digest(module) if self.verify_each else None
         for pass_obj in self.passes:
+            name = getattr(pass_obj, "name", type(pass_obj).__name__)
             start = time.perf_counter()
             if hasattr(pass_obj, "run_on_module"):
                 this_changed = pass_obj.run_on_module(module)
@@ -74,11 +111,17 @@ class PassManager:
                 for function in list(module.defined_functions()):
                     if pass_obj.run_on_function(function):
                         this_changed = True
-            self.timings.record(getattr(pass_obj, "name", type(pass_obj).__name__),
-                                time.perf_counter() - start)
+            # Timed before the audit below: digest/verify overhead is
+            # the manager's, not the pass's.
+            self.timings.record(name, time.perf_counter() - start)
             changed |= this_changed
-            if self.verify_each and this_changed:
-                verify_module(module)
+            if self.verify_each:
+                post = _module_digest(module)
+                if post != digest:
+                    if not this_changed:
+                        raise ChangedFlagLie(name)
+                    verify_module(module)
+                digest = post
         return changed
 
     def statistics(self) -> dict[str, dict[str, int]]:

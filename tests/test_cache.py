@@ -118,6 +118,82 @@ class TestCorruptionRecovery:
         assert cache.load(key) is None
 
 
+class TestConcurrentCounters:
+    """The ``--jobs`` driver shares one cache across worker threads;
+    every counter mutation must happen under ``cache._lock`` so the
+    ``-stats`` totals are exact, not merely close.  The hammer below
+    would lose increments with unguarded ``+=`` under free-threaded
+    interpreters (and flakily even under the GIL, since ``+=`` is a
+    read-modify-write)."""
+
+    @pytest.mark.parametrize("on_disk", [False, True])
+    def test_counter_conservation_under_hammer(self, tmp_path, on_disk):
+        import random
+        import threading
+
+        cache = BytecodeCache(str(tmp_path / "hammer") if on_disk else None)
+        n_threads, rounds = 8, 250
+        barrier = threading.Barrier(n_threads)
+        local = [
+            {"loads": 0, "stores": 0, "evicts": 0,
+             "tloads": 0, "tstores": 0, "tevicts": 0}
+            for _ in range(n_threads)
+        ]
+        errors: list[BaseException] = []
+
+        def hammer(tid: int) -> None:
+            rng = random.Random(tid)
+            mine = local[tid]
+            try:
+                barrier.wait()
+                for i in range(rounds):
+                    key = cache.key(f"k{rng.randrange(12)}", 2)
+                    op = rng.randrange(6)
+                    if op == 0:
+                        cache.store_bytes(key, b"payload%d" % i)
+                        mine["stores"] += 1
+                    elif op == 1:
+                        cache.load_bytes(key)
+                        mine["loads"] += 1
+                    elif op == 2:
+                        if cache.invalidate(key):
+                            mine["evicts"] += 1
+                    elif op == 3:
+                        cache.store_text(key, f"summary {i}")
+                        mine["tstores"] += 1
+                    elif op == 4:
+                        cache.load_text(key)
+                        mine["tloads"] += 1
+                    else:
+                        if cache.evict_text(key):
+                            mine["tevicts"] += 1
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(tid,))
+                   for tid in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        def total(counter: str) -> int:
+            return sum(mine[counter] for mine in local)
+
+        stats = cache.statistics()
+        # Every load_bytes call increments exactly one of hits/misses;
+        # stores/evictions must match the calls that performed them.
+        # (Stored entries are always validly framed, so no eviction can
+        # come from the corruption path.)
+        assert stats["cache-hits"] + stats["cache-misses"] == total("loads")
+        assert stats["cache-stores"] == total("stores")
+        assert stats["cache-evictions"] == total("evicts")
+        assert stats["summary-hits"] + stats["summary-misses"] == total("tloads")
+        assert stats["summary-stores"] == total("tstores")
+        assert stats["summary-evictions"] == total("tevicts")
+
+
 class TestParallelDriver:
     def test_parallel_matches_serial(self):
         serial = compile_and_link(BATCH, "batch", 2, jobs=1)

@@ -104,6 +104,63 @@ entry:
         with pytest.raises(TypeError):
             PassManager().add(object())
 
+    def test_verify_each_catches_changed_flag_liar(self):
+        """A pass that mutates IR while returning False is a planted
+        liar: fixpoint drivers would stop early and verification would
+        be skipped on its say-so.  verify_each audits the claim with a
+        serialization digest and names the offender."""
+        from repro.transforms.passmanager import ChangedFlagLie
+
+        module = parse_module("""
+int %f() {
+entry:
+  %dead = add int 1, 2
+  ret int 0
+}
+""")
+
+        def liar(function):
+            function.entry_block.instructions[0].erase_from_parent()
+            return False  # the lie
+
+        manager = PassManager(verify_each=True)
+        manager.add(FunctionPassAdaptor(liar, "liar"))
+        with pytest.raises(ChangedFlagLie) as excinfo:
+            manager.run(module)
+        assert excinfo.value.pass_name == "liar"
+
+    def test_verify_each_tolerates_over_reporting(self):
+        """Claiming a change while moving nothing is conservative, not
+        a lie — the digest proves nothing moved, so the manager skips
+        the redundant re-verify and carries on."""
+        module = parse_module("int %f() {\nentry:\n  ret int 0\n}")
+        manager = PassManager(verify_each=True)
+        manager.add(ModulePassAdaptor(lambda m: True, "chicken-little"))
+        assert manager.run(module) is True
+
+    def test_honest_false_passes_audit(self):
+        module = parse_module("int %f() {\nentry:\n  ret int 0\n}")
+        manager = PassManager(verify_each=True)
+        manager.add(ModulePassAdaptor(lambda m: False, "noop"))
+        assert manager.run(module) is False
+
+    def test_shared_timings_sink(self):
+        """Two managers given one sink merge their reports, so a driver
+        invocation prints each pass exactly once (-time-passes audit)."""
+        from repro.transforms.passmanager import PassTimings
+
+        sink = PassTimings()
+        module = parse_module("int %f() {\nentry:\n  ret int 0\n}")
+        first = PassManager(timings=sink)
+        first.add(SimplifyCFG())
+        first.run(module)
+        second = PassManager(timings=sink)
+        second.add(SimplifyCFG())
+        second.run(module)
+        assert sink.runs["simplifycfg"] == 2
+        assert second.timings is sink
+        assert sink.report().count("simplifycfg") == 1
+
 
 class TestCloning:
     def test_clone_function_is_deep(self):

@@ -240,6 +240,88 @@ class TestTransactionalPassManager:
             assert function.parent is module
 
 
+class TestPerFunctionTransactions:
+    """The per-function snapshot machinery of ISSUE 7: function passes
+    snapshot (and roll back) one function's text, never the module."""
+
+    def test_function_rollback_restores_in_place(self):
+        from repro.driver.passmanager import (
+            restore_function, snapshot_function,
+        )
+
+        module = fresh_module()
+        victim = module.functions["victim"]
+        before = print_module(module)
+        snapshot = snapshot_function(victim)
+        victim.blocks[0].instructions[-1].erase_from_parent()
+        assert print_module(module) != before
+        restore_function(module, victim, snapshot)
+        assert print_module(module) == before
+        verify_module(module)
+        # Restoration happens *inside* the existing function object, so
+        # every call site (main calls victim) stays valid.
+        assert module.functions["victim"] is victim
+        for block in victim.blocks:
+            assert block.parent is victim
+        for arg in victim.args:
+            assert arg.parent is victim
+        assert run_interpreter(module, STEP_LIMIT) == reference_outcome()
+
+    def test_partial_mutation_rolled_back_others_kept(self):
+        """A pass that mutates the guilty function *before* raising must
+        have that partial work undone, while functions it already
+        processed cleanly keep their changes."""
+
+        class MutateThenThrow:
+            name = "mutate-then-throw"
+
+            def run_on_function(self, function):
+                if function.name == "victim":
+                    # Real damage first, then the crash.
+                    function.blocks[0].instructions[-1].erase_from_parent()
+                    raise RuntimeError("planted mid-mutation bug")
+                # Touch every other function observably but validly.
+                function.blocks[0].name = f"{function.blocks[0].name}.t"
+                return True
+
+        policy = FaultPolicy(reduce_testcases=False,
+                             translation_validate=False)
+        module = fresh_module()
+        victim_before = print_module(module).split("\n\n")
+        manager = TransactionalPassManager(policy)
+        manager.add(MutateThenThrow())
+        manager.run(module)
+
+        verify_module(module)
+        text = print_module(module)
+        # The guilty function is byte-identical to its pre-pass self...
+        victim_text = next(p for p in victim_before if "victim" in p
+                           and "int %victim" in p)
+        assert victim_text in text
+        # ...while the innocents kept the renames the pass made.
+        assert ".t:" in text
+        assert run_interpreter(module, STEP_LIMIT) == reference_outcome()
+        assert policy.statistics()["passes.rolled_back"] == 1
+
+    def test_fault_tolerant_timings_count_each_pass_once(self):
+        """-time-passes audit: one transactional run records every pass
+        exactly once, and containment time bills to the causing pass."""
+        from repro.transforms.passmanager import PassTimings
+
+        policy = FaultPolicy(reduce_testcases=False)
+        sink = PassTimings()
+        module = fresh_module()
+        manager = TransactionalPassManager(policy, timings=sink)
+        manager.add(SimplifyCFG())
+        manager.add(EvilFunctionPass("victim"))
+        manager.add(PromoteMem2Reg())
+        manager.run(module)
+
+        assert sink.runs == {"simplifycfg": 1, "evil": 1, "mem2reg": 1}
+        # The crashing pass's containment overhead is its own bill.
+        assert sink.seconds["evil"] > 0.0
+
+
 # ----------------------------------------------------------------------
 # The degradation ladder (tentpole part 2)
 # ----------------------------------------------------------------------

@@ -614,6 +614,38 @@ out:
         # d == 0 must still run without a fault.
         assert Interpreter(fn.parent).run("f", [3, 0]) == 3
 
+    def test_preheader_creation_reports_change(self):
+        """Regression: LICM used to create a preheader (new block, phi
+        and branch rewiring) yet return False when nothing hoisted —
+        a changed-flag lie that verify_each now catches.  The CFG edit
+        alone must count as a change, and a second run must quiesce."""
+        fn = parse_function("""
+int %f(int %n, bool %p) {
+entry:
+  br bool %p, label %a, label %b
+a:
+  br label %loop
+b:
+  br label %loop
+loop:
+  %i = phi int [ 0, %a ], [ 1, %b ], [ %next, %loop ]
+  %sq = mul int %i, %i
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %sq
+}
+""")
+        expected = Interpreter(fn.parent).run("f", [5, 1])
+        before = len(fn.blocks)
+        assert LICM().run_on_function(fn) is True
+        verify_function(fn)
+        assert len(fn.blocks) == before + 1  # the preheader
+        assert Interpreter(fn.parent).run("f", [5, 1]) == expected
+        # Quiescent now: the preheader exists, nothing hoists.
+        assert LICM().run_on_function(fn) is False
+
 
 class TestSROA:
     def test_struct_split_then_promoted(self):
