@@ -1,0 +1,105 @@
+"""CI gate for the abstract interpreter: verified transfers, real folds.
+
+Two halves.  First, the transformer soundness ladder (`lc-absint
+--self-check`): every interval and known-bits transfer function is
+exhaustively checked against the concrete ``constfold`` semantics at
+4 bits, on singletons at 8 bits, and on boundary/seeded samples at the
+production widths — any violation means a transfer claims something
+some execution contradicts.  Second, the benchsuite compiles at -O2
+with --translation-validate: the range-driven ``rangeopt`` pass must
+fire a minimum number of rewrites across the suite (the analysis is
+pulling its weight) while causing zero validation failures and zero
+rollbacks (every rewrite it makes is machine-checked refinement).
+See docs/ANALYSIS.md, "Value-range abstract interpretation".
+
+Usage:  PYTHONPATH=src python benchmarks/absint_gate.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.absint import run_self_check
+from repro.benchsuite import benchmark_names, load_source
+from repro.driver import FaultPolicy
+from repro.driver.pipelines import standard_pipeline
+from repro.frontend import compile_source
+
+#: The suite must yield at least this many range-driven rewrites; fewer
+#: means the analysis lost precision (or rangeopt lost its wiring).
+MIN_FOLDS = 5
+
+LEVEL = 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="abbreviated self-check ladder (local runs)")
+    parser.add_argument("--skip-self-check", action="store_true",
+                        help="benchsuite half only (for local iteration)")
+    args = parser.parse_args(argv)
+
+    if not args.skip_self_check:
+        check_started = time.perf_counter()
+        problems = run_self_check(full=not args.fast)
+        for problem in problems:
+            print(f"absint-gate: UNSOUND: {problem}", file=sys.stderr)
+        print(f"absint-gate: transformer self-check: {len(problems)} "
+              f"violation(s), {time.perf_counter() - check_started:.1f}s")
+        if problems:
+            print("absint-gate: FAIL — a transfer function is unsound",
+                  file=sys.stderr)
+            return 1
+
+    policy = FaultPolicy(translation_validate=True, reduce_testcases=False)
+    started = time.perf_counter()
+    total_folds = 0
+    failed_programs = []
+    for name in benchmark_names():
+        program_started = time.perf_counter()
+        module = compile_source(load_source(name), name)
+        manager = standard_pipeline(LEVEL, policy=policy)
+        manager.run(module)
+        stats = policy.statistics()
+        folds = sum(manager.statistics().get("rangeopt", {}).values())
+        total_folds += folds
+        print(f"absint-gate: {name:10s} "
+              f"{time.perf_counter() - program_started:6.1f}s  "
+              f"rangeopt-rewrites={folds} "
+              f"failed={stats['validations.failed']} "
+              f"rolled_back={stats['passes.rolled_back']}")
+        if stats["validations.failed"] or stats["passes.rolled_back"]:
+            failed_programs.append(name)
+            for report in policy.crash_reports:
+                print(f"absint-gate:   {report.describe()}", file=sys.stderr)
+
+    stats = policy.statistics()
+    print(f"absint-gate: suite at -O{LEVEL}: {total_folds} rangeopt "
+          f"rewrites, {stats['validations.run']} validations "
+          f"({stats['validations.failed']} failed), "
+          f"{stats['passes.rolled_back']} rollbacks, "
+          f"{time.perf_counter() - started:.1f}s")
+    if failed_programs:
+        print(f"absint-gate: FAIL — rollbacks on: "
+              f"{', '.join(failed_programs)}", file=sys.stderr)
+        return 1
+    if stats["validations.run"] == 0:
+        print("absint-gate: FAIL — the validator never ran "
+              "(wiring regression)", file=sys.stderr)
+        return 1
+    if total_folds < MIN_FOLDS:
+        print(f"absint-gate: FAIL — only {total_folds} rangeopt rewrites "
+              f"(need >= {MIN_FOLDS}); the analysis lost precision",
+              file=sys.stderr)
+        return 1
+
+    print("absint-gate: ok — transfers verified, range folds land, "
+          "zero rollbacks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,694 @@
+"""The two numeric abstract domains and their per-opcode transformers.
+
+Everything here is *parametric in the width*: a value's "shape" is the
+pair ``(bits, signed)``, with ``bool`` treated as a 1-bit unsigned
+integer.  That is what makes the soundness story machine-checkable —
+the same transformer code path that runs on ``int``/``long`` values in
+the compiler runs on 3- and 4-bit shapes in the self-check, where
+enumerating *every* abstract element and *every* concrete member of its
+concretization is tractable (the lc-synth narrow-width discipline,
+applied to transfer functions instead of rewrite rules).
+
+Domains:
+
+* :class:`Interval` — a non-empty, inclusive range ``[lo, hi]`` in the
+  shape's *numeric* space (signed shapes use signed values, unsigned
+  shapes non-negative ones).  Wrapping semantics are handled at the
+  transformer level: an operation whose exact result range does not fit
+  the shape goes to the full range rather than guessing how the wrap
+  folds.
+* :class:`KnownBits` — a tri-state bitvector ``(zeros, ones)`` over the
+  shape's bit pattern: bit *i* of ``zeros`` set means bit *i* of the
+  value is proven 0, and likewise for ``ones``; both clear means
+  unknown.  ``zeros & ones == 0`` is an invariant.
+
+The concrete semantics the transformers must over-approximate are
+exactly :mod:`repro.core.constfold`'s (the interpreter's and constant
+folder's single source of truth); the self-check enumerates against
+``eval_binary``/``eval_shift``/``eval_cast`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...core import types
+from ...core.instructions import COMPARISON_OPCODES, Opcode
+
+#: A value's numeric shape: (bits, signed).  Bool is (1, False).
+Shape = Tuple[int, bool]
+
+#: The shape of comparison results and other booleans.
+BOOL_SHAPE: Shape = (1, False)
+
+#: The shape of shift amounts (``ubyte`` by the IR's typing rule).
+SHIFT_AMOUNT_SHAPE: Shape = (8, False)
+
+
+def shape_of(ty: types.Type) -> Optional[Shape]:
+    """The shape of an integral first-class type, or None for
+    pointers/floats/aggregates (values the domains do not track)."""
+    if ty.is_bool:
+        return BOOL_SHAPE
+    if ty.is_integer:
+        return (ty.bits, ty.signed)  # type: ignore[attr-defined]
+    return None
+
+
+def shape_bounds(shape: Shape) -> Tuple[int, int]:
+    bits, signed = shape
+    if signed:
+        return (-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+    return (0, (1 << bits) - 1)
+
+
+def shape_wrap(shape: Shape, value: int) -> int:
+    """Two's-complement wrap of ``value`` into the shape's numeric space."""
+    bits, signed = shape
+    pattern = value & ((1 << bits) - 1)
+    if signed and pattern >= (1 << (bits - 1)):
+        return pattern - (1 << bits)
+    return pattern
+
+
+def to_pattern(shape: Shape, value: int) -> int:
+    """The raw bit pattern of a numeric value of this shape."""
+    return int(value) & ((1 << shape[0]) - 1)
+
+
+def from_pattern(shape: Shape, pattern: int) -> int:
+    """The numeric value whose bit pattern is ``pattern``."""
+    bits, signed = shape
+    if signed and pattern >= (1 << (bits - 1)):
+        return pattern - (1 << bits)
+    return pattern
+
+
+class NarrowInt:
+    """A duck-typed stand-in for :class:`repro.core.types.IntegerType`
+    at widths the uniqued type system does not provide (3, 4, 6 bits).
+
+    Carries exactly the attributes ``constfold.eval_binary`` /
+    ``eval_shift`` / ``eval_cast`` touch, so the self-check can run the
+    *real* concrete semantics at enumeration-tractable widths.
+    """
+
+    is_floating = False
+    is_bool = False
+    is_integer = True
+    is_pointer = False
+
+    def __init__(self, bits: int, signed: bool):
+        self.bits = bits
+        self.signed = signed
+
+    @property
+    def min_value(self) -> int:
+        return shape_bounds((self.bits, self.signed))[0]
+
+    @property
+    def max_value(self) -> int:
+        return shape_bounds((self.bits, self.signed))[1]
+
+    def wrap(self, value: int) -> int:
+        return shape_wrap((self.bits, self.signed), value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{'s' if self.signed else 'u'}int{self.bits}"
+
+
+# ---------------------------------------------------------------------------
+# Interval
+# ---------------------------------------------------------------------------
+
+class Interval:
+    """A non-empty inclusive numeric range of one shape."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int):
+        assert lo <= hi, (lo, hi)
+        self.lo = lo
+        self.hi = hi
+
+    @staticmethod
+    def top(shape: Shape) -> "Interval":
+        lo, hi = shape_bounds(shape)
+        return Interval(lo, hi)
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        return Interval(value, value)
+
+    def is_top(self, shape: Shape) -> bool:
+        lo, hi = shape_bounds(shape)
+        return self.lo <= lo and self.hi >= hi
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Interval)
+                and self.lo == other.lo and self.hi == other.hi)
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+# ---------------------------------------------------------------------------
+# KnownBits
+# ---------------------------------------------------------------------------
+
+class KnownBits:
+    """Tri-state bit knowledge over one shape's bit pattern."""
+
+    __slots__ = ("bits", "zeros", "ones")
+
+    def __init__(self, bits: int, zeros: int, ones: int):
+        assert zeros & ones == 0, (bin(zeros), bin(ones))
+        self.bits = bits
+        self.zeros = zeros
+        self.ones = ones
+
+    @staticmethod
+    def top(bits: int) -> "KnownBits":
+        return KnownBits(bits, 0, 0)
+
+    @staticmethod
+    def const(shape: Shape, value: int) -> "KnownBits":
+        bits = shape[0]
+        pattern = to_pattern(shape, value)
+        mask = (1 << bits) - 1
+        return KnownBits(bits, mask & ~pattern, pattern)
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def is_fully_known(self) -> bool:
+        return (self.zeros | self.ones) == self.mask
+
+    @property
+    def known_pattern(self) -> int:
+        """The single pattern, valid only when ``is_fully_known``."""
+        return self.ones
+
+    def is_top(self) -> bool:
+        return self.zeros == 0 and self.ones == 0
+
+    def contains_pattern(self, pattern: int) -> bool:
+        return (pattern & self.zeros) == 0 and \
+            (pattern & self.ones) == self.ones
+
+    def contains(self, shape: Shape, value: int) -> bool:
+        return self.contains_pattern(to_pattern(shape, value))
+
+    def join(self, other: "KnownBits") -> "KnownBits":
+        """Union of concretizations: keep only commonly-known bits."""
+        return KnownBits(self.bits, self.zeros & other.zeros,
+                         self.ones & other.ones)
+
+    def intersect(self, other: "KnownBits") -> Optional["KnownBits"]:
+        """Conjunction of constraints; None when contradictory."""
+        zeros = self.zeros | other.zeros
+        ones = self.ones | other.ones
+        if zeros & ones:
+            return None
+        return KnownBits(self.bits, zeros, ones)
+
+    def trailing_known_zeros(self) -> int:
+        count = 0
+        while count < self.bits and (self.zeros >> count) & 1:
+            count += 1
+        return count
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, KnownBits) and self.bits == other.bits
+                and self.zeros == other.zeros and self.ones == other.ones)
+
+    def __hash__(self) -> int:
+        return hash((self.bits, self.zeros, self.ones))
+
+    def __repr__(self) -> str:
+        digits = []
+        for i in reversed(range(self.bits)):
+            if (self.zeros >> i) & 1:
+                digits.append("0")
+            elif (self.ones >> i) & 1:
+                digits.append("1")
+            else:
+                digits.append("?")
+        return "0b" + "".join(digits)
+
+
+# ---------------------------------------------------------------------------
+# Conversions between the domains (the reduced-product operators)
+# ---------------------------------------------------------------------------
+
+def kb_from_interval(shape: Shape, interval: Interval) -> KnownBits:
+    """Bits every member of the interval agrees on.
+
+    When all members share a sign, their patterns form one contiguous
+    pattern range, so the common leading prefix of the endpoint patterns
+    is known; mixed-sign intervals fix nothing.
+    """
+    bits = shape[0]
+    if shape[1] and interval.lo < 0 <= interval.hi:
+        return KnownBits.top(bits)
+    pa = to_pattern(shape, interval.lo)
+    pb = to_pattern(shape, interval.hi)
+    differing = pa ^ pb
+    prefix = ((1 << bits) - 1) ^ ((1 << differing.bit_length()) - 1)
+    return KnownBits(bits, prefix & ~pa, prefix & pa)
+
+
+def interval_from_kb(shape: Shape, kb: KnownBits) -> Interval:
+    """The numeric hull of a known-bits pattern set."""
+    bits, signed = shape
+    mask = (1 << bits) - 1
+    if not signed:
+        return Interval(kb.ones, mask & ~kb.zeros)
+    sign_bit = 1 << (bits - 1)
+    # Minimum: make the value as negative as allowed (sign bit 1 unless
+    # proven 0), every other unknown bit 0.
+    min_pattern = kb.ones
+    if not kb.zeros & sign_bit:
+        min_pattern |= sign_bit
+    # Maximum: sign bit 0 unless proven 1, every other unknown bit 1.
+    max_pattern = mask & ~kb.zeros
+    if not kb.ones & sign_bit:
+        max_pattern &= ~sign_bit
+    return Interval(from_pattern(shape, min_pattern),
+                    from_pattern(shape, max_pattern))
+
+
+def reduce_pair(shape: Shape,
+                interval: Interval,
+                kb: KnownBits) -> Tuple[Interval, KnownBits]:
+    """Mutually refine the two domains (sound reduced product):
+    the result concretizations each contain the intersection of the
+    inputs' concretizations."""
+    narrowed = interval.intersect(interval_from_kb(shape, kb))
+    if narrowed is not None:
+        interval = narrowed
+    sharpened = kb.intersect(kb_from_interval(shape, interval))
+    if sharpened is not None:
+        kb = sharpened
+    return interval, kb
+
+
+# ---------------------------------------------------------------------------
+# Interval transformers
+# ---------------------------------------------------------------------------
+
+def _fit(shape: Shape, lo: int, hi: int) -> Interval:
+    """The interval when the exact result range fits the shape, else the
+    full range (the wrap may fold the range arbitrarily)."""
+    smin, smax = shape_bounds(shape)
+    if smin <= lo and hi <= smax:
+        return Interval(lo, hi)
+    return Interval(smin, smax)
+
+
+def _tdiv(n: int, d: int) -> int:
+    """C division: truncation toward zero."""
+    q = abs(n) // abs(d)
+    return -q if (n < 0) != (d < 0) else q
+
+
+def exact_binary_range(opcode: Opcode, a: Interval,
+                       b: Interval) -> Optional[Tuple[int, int]]:
+    """The exact mathematical (pre-wrap) result range of add/sub/mul.
+
+    Used by the ``definite-overflow`` checker: when this entire range
+    falls outside the shape's representable values, *every* execution
+    of the instruction wraps.
+    """
+    if opcode == Opcode.ADD:
+        return (a.lo + b.lo, a.hi + b.hi)
+    if opcode == Opcode.SUB:
+        return (a.lo - b.hi, a.hi - b.lo)
+    if opcode == Opcode.MUL:
+        corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+        return (min(corners), max(corners))
+    return None
+
+
+def _interval_divide(shape: Shape, a: Interval, b: Interval) -> Interval:
+    # Executions with a zero divisor trap and produce no value, so the
+    # candidate divisors exclude 0.  Truncating division is monotone in
+    # the numerator for a fixed divisor and monotone in the divisor on
+    # each sign side, so endpoint/near-zero corners bound the result.
+    divisors = {d for d in (b.lo, b.hi, 1, -1)
+                if b.lo <= d <= b.hi and d != 0}
+    if not divisors:
+        return Interval.top(shape)  # every execution traps
+    quotients = [_tdiv(n, d) for n in (a.lo, a.hi) for d in divisors]
+    return _fit(shape, min(quotients), max(quotients))
+
+
+def _interval_remainder(shape: Shape, a: Interval, b: Interval) -> Interval:
+    if b.lo == 0 and b.hi == 0:
+        return Interval.top(shape)  # every execution traps
+    magnitude = max(abs(b.lo), abs(b.hi)) - 1
+    # The remainder takes the dividend's sign and |r| <= min(|n|, |d|-1).
+    lo = max(-magnitude, min(a.lo, 0))
+    hi = min(magnitude, max(a.hi, 0))
+    result = Interval(lo, hi)
+    # x % d == x whenever 0 <= x < d on every execution.
+    if a.lo >= 0 and b.lo > a.hi:
+        result = a
+    return result
+
+
+def _interval_bitwise(opcode: Opcode, shape: Shape, a: Interval,
+                      b: Interval) -> Interval:
+    # Primary bound through the bit domain; sharpen the common
+    # both-non-negative case with the classic magnitude bounds.
+    kb = kb_binary(opcode, shape,
+                   kb_from_interval(shape, a), kb_from_interval(shape, b))
+    result = interval_from_kb(shape, kb)
+    if a.lo >= 0 and b.lo >= 0:
+        if opcode == Opcode.AND:
+            bound = Interval(0, min(a.hi, b.hi))
+        else:
+            width = max(a.hi.bit_length(), b.hi.bit_length())
+            upper = (1 << width) - 1
+            lo = max(a.lo, b.lo) if opcode == Opcode.OR else 0
+            bound = Interval(lo, upper)
+        sharpened = result.intersect(bound)
+        if sharpened is not None:
+            result = sharpened
+    return result
+
+
+def _interval_compare(opcode: Opcode, a: Interval, b: Interval) -> Interval:
+    def tri(true_when: bool, false_when: bool) -> Interval:
+        if true_when:
+            return Interval(1, 1)
+        if false_when:
+            return Interval(0, 0)
+        return Interval(0, 1)
+
+    if opcode == Opcode.SETEQ:
+        return tri(a.is_singleton and b.is_singleton and a.lo == b.lo,
+                   a.hi < b.lo or b.hi < a.lo)
+    if opcode == Opcode.SETNE:
+        return tri(a.hi < b.lo or b.hi < a.lo,
+                   a.is_singleton and b.is_singleton and a.lo == b.lo)
+    if opcode == Opcode.SETLT:
+        return tri(a.hi < b.lo, a.lo >= b.hi)
+    if opcode == Opcode.SETLE:
+        return tri(a.hi <= b.lo, a.lo > b.hi)
+    if opcode == Opcode.SETGT:
+        return tri(a.lo > b.hi, a.hi <= b.lo)
+    if opcode == Opcode.SETGE:
+        return tri(a.lo >= b.hi, a.hi < b.lo)
+    raise ValueError(f"not a comparison: {opcode}")
+
+
+def interval_binary(opcode: Opcode, shape: Shape, a: Interval,
+                    b: Interval) -> Interval:
+    """Transfer a binary opcode over operand intervals of ``shape``.
+
+    Comparison results are intervals of :data:`BOOL_SHAPE`.
+    """
+    if opcode in COMPARISON_OPCODES:
+        return _interval_compare(opcode, a, b)
+    if opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
+        lo, hi = exact_binary_range(opcode, a, b)  # type: ignore[misc]
+        return _fit(shape, lo, hi)
+    if opcode == Opcode.DIV:
+        return _interval_divide(shape, a, b)
+    if opcode == Opcode.REM:
+        return _interval_remainder(shape, a, b)
+    if opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
+        return _interval_bitwise(opcode, shape, a, b)
+    raise ValueError(f"not a scalar binary opcode: {opcode}")
+
+
+def interval_shift(opcode: Opcode, shape: Shape, a: Interval,
+                   amount: Interval) -> Interval:
+    """Transfer ``shl``/``shr``; ``amount`` has :data:`SHIFT_AMOUNT_SHAPE`."""
+    bits = shape[0]
+    if opcode == Opcode.SHL:
+        if amount.lo >= bits:
+            return Interval.const(0)  # deterministic saturation
+        if amount.hi >= bits:
+            return Interval.top(shape)
+        corners = [v << k for v in (a.lo, a.hi)
+                   for k in (amount.lo, amount.hi)]
+        return _fit(shape, min(corners), max(corners))
+    if opcode == Opcode.SHR:
+        # Python's ``>>`` is an arithmetic shift with natural saturation
+        # at large amounts (floor toward -1/0), which matches eval_shift
+        # for signed shapes exactly and for unsigned shapes too (their
+        # values are non-negative).  Monotone in each argument, so the
+        # corners bound the result.
+        corners = [v >> min(k, bits) for v in (a.lo, a.hi)
+                   for k in (amount.lo, amount.hi)]
+        return Interval(min(corners), max(corners))
+    raise ValueError(f"not a shift opcode: {opcode}")
+
+
+def interval_cast(src_shape: Shape, dst_shape: Shape,
+                  a: Interval) -> Interval:
+    """Transfer ``cast`` between integral shapes."""
+    if dst_shape == BOOL_SHAPE and src_shape != BOOL_SHAPE:
+        if not a.contains(0):
+            return Interval(1, 1)
+        if a.is_singleton:
+            return Interval(0, 0)
+        return Interval(0, 1)
+    # eval_cast wraps the numeric value into the destination; when every
+    # member is already representable the wrap is the identity.
+    dmin, dmax = shape_bounds(dst_shape)
+    if dmin <= a.lo and a.hi <= dmax:
+        return Interval(a.lo, a.hi)
+    return Interval.top(dst_shape)
+
+
+# ---------------------------------------------------------------------------
+# KnownBits transformers
+# ---------------------------------------------------------------------------
+
+def _kb_add(bits: int, a: KnownBits, b: KnownBits,
+            carry_in: int) -> KnownBits:
+    """Exact bitwise carry propagation for addition.
+
+    Walks the ripple adder tracking the set of possible carries; a
+    result bit is known when every (a-bit, b-bit, carry) combination
+    produces the same sum bit.  ``carry_in`` seeds the carry set
+    (1 for subtraction encoded as ``a + ~b + 1``).
+    """
+    zeros = 0
+    ones = 0
+    carries = {carry_in}
+    for i in range(bits):
+        a_bits = _possible_bits(a, i)
+        b_bits = _possible_bits(b, i)
+        sums = set()
+        next_carries = set()
+        for x in a_bits:
+            for y in b_bits:
+                for c in carries:
+                    total = x + y + c
+                    sums.add(total & 1)
+                    next_carries.add(total >> 1)
+        if sums == {0}:
+            zeros |= 1 << i
+        elif sums == {1}:
+            ones |= 1 << i
+        carries = next_carries
+    return KnownBits(bits, zeros, ones)
+
+
+def _possible_bits(kb: KnownBits, i: int) -> tuple:
+    bit = 1 << i
+    if kb.zeros & bit:
+        return (0,)
+    if kb.ones & bit:
+        return (1,)
+    return (0, 1)
+
+
+def _kb_not(kb: KnownBits) -> KnownBits:
+    return KnownBits(kb.bits, kb.ones, kb.zeros)
+
+
+def _kb_mul(bits: int, a: KnownBits, b: KnownBits) -> KnownBits:
+    if a.is_fully_known and b.is_fully_known:
+        mask = (1 << bits) - 1
+        product = (a.known_pattern * b.known_pattern) & mask
+        return KnownBits(bits, mask & ~product, product)
+    # a = a' * 2^i and b = b' * 2^j force i+j trailing zeros in the
+    # product; when a' and b' are both odd, the bit above them is 1.
+    tza = a.trailing_known_zeros()
+    tzb = b.trailing_known_zeros()
+    low = min(tza + tzb, bits)
+    zeros = (1 << low) - 1
+    ones = 0
+    if low < bits and (a.ones >> tza) & 1 and (b.ones >> tzb) & 1:
+        ones = 1 << low
+    return KnownBits(bits, zeros, ones)
+
+
+def _kb_divrem(opcode: Opcode, shape: Shape, a: KnownBits,
+               b: KnownBits) -> KnownBits:
+    bits = shape[0]
+    if a.is_fully_known and b.is_fully_known:
+        divisor = from_pattern(shape, b.known_pattern)
+        if divisor != 0:
+            lhs = from_pattern(shape, a.known_pattern)
+            result = _tdiv(lhs, divisor) if opcode == Opcode.DIV \
+                else lhs - _tdiv(lhs, divisor) * divisor
+            return KnownBits.const(shape, shape_wrap(shape, result))
+        return KnownBits.top(bits)  # every execution traps
+    if opcode == Opcode.REM and b.is_fully_known:
+        divisor_pattern = b.known_pattern
+        divisor = from_pattern(shape, divisor_pattern)
+        sign_bit = 1 << (bits - 1)
+        non_negative = (not shape[1]) or bool(a.zeros & sign_bit)
+        if divisor > 0 and divisor & (divisor - 1) == 0 and non_negative:
+            # Non-negative x % 2^k == x & (2^k - 1).
+            low = divisor - 1
+            mask = (1 << bits) - 1
+            return KnownBits(bits, (mask & ~low) | (a.zeros & low),
+                             a.ones & low)
+    return KnownBits.top(bits)
+
+
+def _kb_compare(opcode: Opcode, shape: Shape, a: KnownBits,
+                b: KnownBits) -> KnownBits:
+    def verdict(value: Optional[bool]) -> KnownBits:
+        if value is None:
+            return KnownBits.top(1)
+        return KnownBits.const(BOOL_SHAPE, int(value))
+
+    conflict = (a.ones & b.zeros) | (a.zeros & b.ones)
+    if a.is_fully_known and b.is_fully_known:
+        lhs = from_pattern(shape, a.known_pattern)
+        rhs = from_pattern(shape, b.known_pattern)
+        outcome = {
+            Opcode.SETEQ: lhs == rhs, Opcode.SETNE: lhs != rhs,
+            Opcode.SETLT: lhs < rhs, Opcode.SETGT: lhs > rhs,
+            Opcode.SETLE: lhs <= rhs, Opcode.SETGE: lhs >= rhs,
+        }[opcode]
+        return verdict(outcome)
+    if conflict:
+        if opcode == Opcode.SETEQ:
+            return verdict(False)
+        if opcode == Opcode.SETNE:
+            return verdict(True)
+    return KnownBits.top(1)
+
+
+def kb_binary(opcode: Opcode, shape: Shape, a: KnownBits,
+              b: KnownBits) -> KnownBits:
+    """Transfer a binary opcode over operand known-bits of ``shape``.
+
+    Comparison results are 1-bit (:data:`BOOL_SHAPE`).
+    """
+    bits = shape[0]
+    if opcode in COMPARISON_OPCODES:
+        return _kb_compare(opcode, shape, a, b)
+    if opcode == Opcode.AND:
+        return KnownBits(bits, a.zeros | b.zeros, a.ones & b.ones)
+    if opcode == Opcode.OR:
+        return KnownBits(bits, a.zeros & b.zeros, a.ones | b.ones)
+    if opcode == Opcode.XOR:
+        zeros = (a.zeros & b.zeros) | (a.ones & b.ones)
+        ones = (a.zeros & b.ones) | (a.ones & b.zeros)
+        return KnownBits(bits, zeros, ones)
+    if opcode == Opcode.ADD:
+        return _kb_add(bits, a, b, 0)
+    if opcode == Opcode.SUB:
+        return _kb_add(bits, a, _kb_not(b), 1)
+    if opcode == Opcode.MUL:
+        return _kb_mul(bits, a, b)
+    if opcode in (Opcode.DIV, Opcode.REM):
+        return _kb_divrem(opcode, shape, a, b)
+    raise ValueError(f"not a scalar binary opcode: {opcode}")
+
+
+def kb_shift(opcode: Opcode, shape: Shape, a: KnownBits,
+             amount: KnownBits) -> KnownBits:
+    """Transfer ``shl``/``shr`` over known bits."""
+    bits = shape[0]
+    mask = (1 << bits) - 1
+    if not amount.is_fully_known:
+        return KnownBits.top(bits)
+    k = amount.known_pattern  # the amount is unsigned (ubyte)
+    if opcode == Opcode.SHL:
+        if k >= bits:
+            return KnownBits(bits, mask, 0)  # saturates to 0
+        return KnownBits(bits, ((a.zeros << k) | ((1 << k) - 1)) & mask,
+                         (a.ones << k) & mask)
+    if opcode == Opcode.SHR:
+        sign_bit = 1 << (bits - 1)
+        if not shape[1]:
+            if k >= bits:
+                return KnownBits(bits, mask, 0)
+            return KnownBits(bits, (a.zeros >> k) | (mask ^ (mask >> k)),
+                             a.ones >> k)
+        # Arithmetic: vacated bits copy the sign bit.
+        k = min(k, bits)  # >= bits saturates to all-sign
+        zeros = 0
+        ones = 0
+        for i in range(bits):
+            source = min(i + k, bits - 1)
+            if a.zeros & (1 << source):
+                zeros |= 1 << i
+            elif a.ones & (1 << source):
+                ones |= 1 << i
+        return KnownBits(bits, zeros, ones)
+    raise ValueError(f"not a shift opcode: {opcode}")
+
+
+def kb_cast(src_shape: Shape, dst_shape: Shape, a: KnownBits) -> KnownBits:
+    """Transfer ``cast`` between integral shapes over known bits."""
+    src_bits, src_signed = src_shape
+    dst_bits = dst_shape[0]
+    dst_mask = (1 << dst_bits) - 1
+    if dst_shape == BOOL_SHAPE and src_shape != BOOL_SHAPE:
+        if a.ones:
+            return KnownBits.const(BOOL_SHAPE, 1)  # some bit is set
+        if a.zeros == a.mask:
+            return KnownBits.const(BOOL_SHAPE, 0)
+        return KnownBits.top(1)
+    if dst_bits <= src_bits:
+        return KnownBits(dst_bits, a.zeros & dst_mask, a.ones & dst_mask)
+    # Widening extends by the *source* signedness.
+    high = dst_mask & ~a.mask
+    zeros = a.zeros
+    ones = a.ones
+    if not src_signed:
+        zeros |= high
+    else:
+        sign_bit = 1 << (src_bits - 1)
+        if a.zeros & sign_bit:
+            zeros |= high
+        elif a.ones & sign_bit:
+            ones |= high
+    return KnownBits(dst_bits, zeros, ones)

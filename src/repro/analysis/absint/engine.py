@@ -1,0 +1,449 @@
+"""The abstract interpretation engine: a sparse SSA solver over the
+reduced product of the interval and known-bits domains.
+
+``analyze_function`` runs an SCCP-style optimistic fixpoint on the
+existing sparse dataflow engine (:mod:`repro.sanalysis.dataflow`):
+every instruction starts *undefined* and information flows along
+def-use edges only.  Interval ascent through loop-carried phis is
+accelerated by widening (after a bounded number of grow events the
+moving bound jumps to the shape extreme) and then sharpened by two
+narrowing sweeps that intersect each fact with its freshly recomputed
+transfer — the intersection of two sound over-approximations is sound.
+
+The result is a :class:`ValueFacts` oracle: per-SSA-value intervals and
+known bits that rangeopt, the lint checkers, the interprocedural
+summaries, and the fuzz oracle all query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ...core import types
+from ...core.instructions import (
+    BinaryOperator,
+    CallInst,
+    CastInst,
+    Instruction,
+    InvokeInst,
+    LoadInst,
+    Opcode,
+    PhiNode,
+    ShiftInst,
+    VAArgInst,
+)
+from ...core.values import (
+    Argument,
+    ConstantBool,
+    ConstantInt,
+    UndefValue,
+    Value,
+)
+from ...sanalysis.dataflow import SparseAnalysis, solve_sparse
+from ..cfg import reverse_postorder
+from ..loops import LoopInfo
+from .domains import (
+    BOOL_SHAPE,
+    Interval,
+    KnownBits,
+    Shape,
+    from_pattern,
+    interval_binary,
+    interval_cast,
+    interval_shift,
+    kb_binary,
+    kb_cast,
+    kb_shift,
+    reduce_pair,
+    shape_bounds,
+    shape_of,
+)
+
+
+class _Sentinel:
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str):
+        self._label = label
+
+    def __repr__(self) -> str:
+        return self._label
+
+
+#: Solver-top: "no execution reaches this definition yet".  A distinct
+#: object (never ``None`` — the sparse solver's cache treats ``None`` as
+#: a miss).
+UNDEF = _Sentinel("<undef>")
+
+#: Values the domains do not track (pointers, floats, aggregates).
+NOINFO = _Sentinel("<noinfo>")
+
+#: Loop-header phis tolerate this many grow events before widening.
+WIDEN_AFTER = 8
+
+#: Any phi (irreducible-CFG backstop) widens after this many.
+WIDEN_BACKSTOP = 32
+
+
+class AbsValue:
+    """One SSA value's fact: an interval and known bits of one shape,
+    kept mutually reduced."""
+
+    __slots__ = ("shape", "interval", "kb")
+
+    def __init__(self, shape: Shape, interval: Interval, kb: KnownBits):
+        self.shape = shape
+        self.interval = interval
+        self.kb = kb
+
+    @staticmethod
+    def make(shape: Shape, interval: Interval, kb: KnownBits) -> "AbsValue":
+        interval, kb = reduce_pair(shape, interval, kb)
+        return AbsValue(shape, interval, kb)
+
+    @staticmethod
+    def top(shape: Shape) -> "AbsValue":
+        return AbsValue(shape, Interval.top(shape), KnownBits.top(shape[0]))
+
+    @staticmethod
+    def const(shape: Shape, value: int) -> "AbsValue":
+        return AbsValue(shape, Interval.const(value),
+                        KnownBits.const(shape, value))
+
+    def is_top(self) -> bool:
+        return self.interval.is_top(self.shape) and self.kb.is_top()
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        return AbsValue.make(self.shape, self.interval.join(other.interval),
+                             self.kb.join(other.kb))
+
+    def intersect(self, other: "AbsValue") -> Optional["AbsValue"]:
+        interval = self.interval.intersect(other.interval)
+        kb = self.kb.intersect(other.kb)
+        if interval is None or kb is None:
+            return None
+        return AbsValue.make(self.shape, interval, kb)
+
+    def singleton(self) -> Optional[int]:
+        """The single concrete value, when there is exactly one."""
+        if self.interval.is_singleton:
+            return self.interval.lo
+        if self.kb.is_fully_known:
+            return from_pattern(self.shape, self.kb.known_pattern)
+        return None
+
+    def contains(self, value: int) -> bool:
+        return self.interval.contains(value) and \
+            self.kb.contains(self.shape, value)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, AbsValue) and self.shape == other.shape
+                and self.interval == other.interval and self.kb == other.kb)
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self.interval, self.kb))
+
+    def __repr__(self) -> str:
+        return f"{self.interval} {self.kb}"
+
+
+#: Optional hook giving call results an interval: maps a call/invoke
+#: instruction to ``(lo, hi)`` (either end may be None for unbounded)
+#: or None for no information.
+CallRangeHook = Callable[[Instruction], Optional[tuple]]
+
+
+def _clamp_hook_range(shape: Shape, rng: Optional[tuple]) -> Interval:
+    top = Interval.top(shape)
+    if rng is None:
+        return top
+    lo = top.lo if rng[0] is None else max(int(rng[0]), top.lo)
+    hi = top.hi if rng[1] is None else min(int(rng[1]), top.hi)
+    if lo > hi:  # contradictory summary — fall back to top
+        return top
+    return Interval(lo, hi)
+
+
+class _RangeAnalysis(SparseAnalysis):
+    """The transfer functions, bridged onto the sparse solver."""
+
+    def __init__(self, function, call_range: Optional[CallRangeHook]):
+        self.function = function
+        self.call_range = call_range
+        self._phi_state: Dict[int, AbsValue] = {}
+        self._phi_grows: Dict[int, int] = {}
+        self._header_blocks: Optional[set] = None
+        #: When False (narrowing sweeps), phi transfers are plain joins.
+        self.widening_enabled = True
+
+    # -- solver interface ---------------------------------------------------
+
+    def top(self):
+        return UNDEF
+
+    def initial(self, value: Value):
+        return abstract_of_constant(value) or self._initial_opaque(value)
+
+    def _initial_opaque(self, value: Value):
+        shape = shape_of(value.type)
+        if shape is None:
+            return NOINFO
+        if isinstance(value, (Argument, UndefValue, Instruction)):
+            return AbsValue.top(shape)
+        return AbsValue.top(shape)
+
+    def meet(self, a, b):  # pragma: no cover - solver never calls it
+        if a is UNDEF:
+            return b
+        if b is UNDEF or a is NOINFO or b is NOINFO:
+            return a
+        return a.join(b)
+
+    # -- transfer -----------------------------------------------------------
+
+    def transfer(self, inst: Instruction, get):
+        result_shape = shape_of(inst.type)
+        if result_shape is None:
+            return NOINFO
+
+        if isinstance(inst, PhiNode):
+            return self._transfer_phi(inst, get, result_shape)
+        if isinstance(inst, BinaryOperator):
+            return self._transfer_binary(inst, get, result_shape)
+        if isinstance(inst, ShiftInst):
+            return self._transfer_shift(inst, get, result_shape)
+        if isinstance(inst, CastInst):
+            return self._transfer_cast(inst, get, result_shape)
+        if isinstance(inst, (CallInst, InvokeInst)):
+            if self.call_range is not None:
+                interval = _clamp_hook_range(result_shape,
+                                             self.call_range(inst))
+                return AbsValue(result_shape, interval,
+                                KnownBits.top(result_shape[0]))
+            return AbsValue.top(result_shape)
+        if isinstance(inst, (LoadInst, VAArgInst)):
+            return AbsValue.top(result_shape)
+        return AbsValue.top(result_shape)
+
+    def _operand(self, value: Value, get, shape: Shape):
+        """The operand's fact: an AbsValue of ``shape``, or UNDEF when
+        the operand is still optimistically undefined."""
+        element = get(value)
+        if element is UNDEF:
+            return UNDEF
+        if element is NOINFO or element.shape != shape:
+            return AbsValue.top(shape)
+        return element
+
+    def _transfer_binary(self, inst, get, result_shape):
+        operand_shape = shape_of(inst.lhs.type)
+        if operand_shape is None:
+            # Comparison of pointers/floats: all we know is "a bool".
+            return AbsValue.top(result_shape)
+        a = self._operand(inst.lhs, get, operand_shape)
+        b = self._operand(inst.rhs, get, operand_shape)
+        if a is UNDEF or b is UNDEF:
+            return UNDEF
+        interval = interval_binary(inst.opcode, operand_shape,
+                                   a.interval, b.interval)
+        kb = kb_binary(inst.opcode, operand_shape, a.kb, b.kb)
+        return AbsValue.make(result_shape, interval, kb)
+
+    def _transfer_shift(self, inst, get, result_shape):
+        amount_shape = shape_of(inst.amount.type)
+        a = self._operand(inst.value, get, result_shape)
+        amount = self._operand(inst.amount, get, amount_shape)
+        if a is UNDEF or amount is UNDEF:
+            return UNDEF
+        interval = interval_shift(inst.opcode, result_shape,
+                                  a.interval, amount.interval)
+        kb = kb_shift(inst.opcode, result_shape, a.kb, amount.kb)
+        return AbsValue.make(result_shape, interval, kb)
+
+    def _transfer_cast(self, inst, get, result_shape):
+        src_shape = shape_of(inst.value.type)
+        if src_shape is None:
+            return AbsValue.top(result_shape)  # pointer/float source
+        a = self._operand(inst.value, get, src_shape)
+        if a is UNDEF:
+            return UNDEF
+        interval = interval_cast(src_shape, result_shape, a.interval)
+        kb = kb_cast(src_shape, result_shape, a.kb)
+        return AbsValue.make(result_shape, interval, kb)
+
+    def _transfer_phi(self, inst, get, result_shape):
+        joined = None
+        for value, _block in inst.incoming:
+            element = self._operand(value, get, result_shape)
+            if element is UNDEF:
+                continue  # optimistic: undefined edges contribute nothing
+            joined = element if joined is None else joined.join(element)
+        if joined is None:
+            return UNDEF
+        if not self.widening_enabled:
+            return joined
+        previous = self._phi_state.get(id(inst))
+        if previous is not None and joined != previous:
+            grows = self._phi_grows.get(id(inst), 0) + 1
+            self._phi_grows[id(inst)] = grows
+            limit = WIDEN_AFTER if self._in_loop_header(inst) \
+                else WIDEN_BACKSTOP
+            if grows >= limit:
+                smin, smax = shape_bounds(result_shape)
+                lo = joined.interval.lo
+                hi = joined.interval.hi
+                if lo < previous.interval.lo:
+                    lo = smin
+                if hi > previous.interval.hi:
+                    hi = smax
+                joined = AbsValue(result_shape, Interval(lo, hi), joined.kb)
+        self._phi_state[id(inst)] = joined
+        return joined
+
+    def _in_loop_header(self, inst: Instruction) -> bool:
+        if self._header_blocks is None:
+            info = LoopInfo(self.function)
+            self._header_blocks = {id(loop.header)
+                                   for loop in info.all_loops()}
+        return id(inst.parent) in self._header_blocks
+
+
+def abstract_of_constant(value: Value) -> Optional[AbsValue]:
+    """The exact fact of an integral constant, else None."""
+    if isinstance(value, ConstantInt):
+        shape = shape_of(value.type)
+        if shape is not None:
+            return AbsValue.const(shape, value.value)
+    if isinstance(value, ConstantBool):
+        return AbsValue.const(BOOL_SHAPE, int(value.value))
+    return None
+
+
+class ValueFacts:
+    """The queryable result of analyzing one function."""
+
+    def __init__(self, function, elements: Dict[Value, object]):
+        self.function = function
+        self._elements = elements
+
+    def abs_of(self, value: Value) -> Optional[AbsValue]:
+        """The fact for ``value``, or None when nothing is known (not
+        integral, untracked, or never reached by the solver)."""
+        constant = abstract_of_constant(value)
+        if constant is not None:
+            return constant
+        element = self._elements.get(value)
+        if isinstance(element, AbsValue):
+            return element
+        return None
+
+    def interval_of(self, value: Value) -> Optional[Interval]:
+        fact = self.abs_of(value)
+        return fact.interval if fact is not None else None
+
+    def knownbits_of(self, value: Value) -> Optional[KnownBits]:
+        fact = self.abs_of(value)
+        return fact.kb if fact is not None else None
+
+    def is_unreached(self, value: Value) -> bool:
+        """True when the solver proved no execution defines ``value``."""
+        element = self._elements.get(value)
+        if element is UNDEF:
+            return True
+        # The sparse solver only seeds instructions in CFG-reachable
+        # blocks; an instruction it never saw sits in dead code.
+        return element is None and isinstance(value, Instruction)
+
+    def contains(self, value: Value, concrete) -> bool:
+        """Whether an observed concrete value is admitted by the fact.
+
+        True when nothing is known.  Used by the fuzz oracle: a False
+        here is a soundness bug in a transfer function or the solver.
+        """
+        fact = self.abs_of(value)
+        if fact is None:
+            return True
+        return fact.contains(int(concrete))
+
+    def dump(self) -> list:
+        """Human-readable per-value lines, in program order."""
+        lines = []
+        for block in self.function.blocks:
+            for inst in block.instructions:
+                fact = self.abs_of(inst)
+                if fact is None and not self.is_unreached(inst):
+                    continue
+                name = inst.name or f"<{inst.opcode.value}>"
+                loc = f"  (line {inst.loc})" if inst.loc is not None else ""
+                body = "unreached" if self.is_unreached(inst) else (
+                    f"{fact.interval} bits={fact.kb}")
+                lines.append(f"  %{name}: {body}{loc}")
+        return lines
+
+
+def analyze_function(function, call_range: Optional[CallRangeHook] = None,
+                     narrowing_sweeps: int = 2) -> ValueFacts:
+    """Run the engine over one function and return its facts."""
+    analysis = _RangeAnalysis(function, call_range)
+    result = solve_sparse(analysis, function)
+    elements = dict(result.values)
+
+    # Narrowing: recompute every transfer against the (post-widening)
+    # fixpoint and keep the intersection.  Each sweep is sound on its
+    # own, so a fixed small number of sweeps needs no convergence check.
+    analysis.widening_enabled = False
+
+    def get(value: Value):
+        existing = elements.get(value)
+        if existing is not None:
+            return existing
+        element = analysis.initial(value)
+        elements[value] = element
+        return element
+
+    for _ in range(max(0, narrowing_sweeps)):
+        for block in reverse_postorder(function):
+            for inst in block.instructions:
+                old = elements.get(inst)
+                if not isinstance(old, AbsValue):
+                    continue
+                new = analysis.transfer(inst, get)
+                if isinstance(new, AbsValue):
+                    refined = old.intersect(new)
+                    elements[inst] = refined if refined is not None else new
+
+    return ValueFacts(function, elements)
+
+
+class RangeDumpPass:
+    """An analysis "pass" (``lc-opt -p ranges`` / ``-analyze ranges``)
+    printing every value's interval and known bits with source locs, so
+    lint findings and rangeopt folds are debuggable."""
+
+    name = "ranges"
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def run_on_function(self, function) -> bool:
+        import sys
+
+        stream = self.stream if self.stream is not None else sys.stderr
+        facts = analyze_function(function)
+        print(f"; value facts for {function.name!r}", file=stream)
+        for line in facts.dump():
+            print(line, file=stream)
+        return False
+
+
+def analyze_module(module, call_range_for=None) -> Dict[str, ValueFacts]:
+    """Facts for every function with a body.
+
+    ``call_range_for(function)`` may supply a per-function
+    :data:`CallRangeHook` (e.g. from interprocedural summaries).
+    """
+    facts = {}
+    for function in module.defined_functions():
+        hook = call_range_for(function) if call_range_for is not None else None
+        facts[function.name] = analyze_function(function, call_range=hook)
+    return facts

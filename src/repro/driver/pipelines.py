@@ -20,8 +20,8 @@ from .passmanager import (
 )
 from ..transforms import (
     AggressiveDCE, ConstantPropagation, DeadCodeElimination, GVN,
-    InstCombine, LICM, PassManager, PromoteMem2Reg, Reassociate, SCCP,
-    ScalarReplAggregates, SimplifyCFG, TailRecursionElimination,
+    InstCombine, LICM, PassManager, PromoteMem2Reg, RangeOpt, Reassociate,
+    SCCP, ScalarReplAggregates, SimplifyCFG, TailRecursionElimination,
 )
 from ..transforms.passmanager import PassTimings
 from ..transforms.ipo import (
@@ -69,6 +69,7 @@ def standard_pipeline(level: int = 2, verify_each: bool = False,
         manager.add(Reassociate())
         manager.add(GVN())
         manager.add(LICM())
+        manager.add(RangeOpt())
         manager.add(InstCombine())
         manager.add(AggressiveDCE())
         manager.add(SimplifyCFG())

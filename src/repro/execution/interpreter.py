@@ -90,6 +90,10 @@ class Interpreter:
         #: Hook called as fn(interpreter, block) at each block entry
         #: (used by the profiling runtime).
         self.block_hook: Optional[Callable] = None
+        #: Hook called as fn(instruction, value) after each SSA register
+        #: write (used by the abstract-interpretation fuzz oracle to
+        #: cross-check every concrete value against computed facts).
+        self.value_hook: Optional[Callable] = None
         #: Set by the JIT engine: called with a declaration about to be
         #: executed, to materialise its body from bytecode on demand.
         self.lazy_loader: Optional[Callable] = None
@@ -287,6 +291,8 @@ class Interpreter:
                 break
         for phi, value in phis:
             frame.registers[id(phi)] = value
+            if self.value_hook is not None:
+                self.value_hook(phi, value)
         frame.index = len(phis)
         if self.block_hook is not None:
             self.block_hook(self, dest)
@@ -304,14 +310,20 @@ class Interpreter:
         if isinstance(inst, BinaryOperator):
             lhs = self._value(frame, inst.operands[0])
             rhs = self._value(frame, inst.operands[1])
-            frame.registers[id(inst)] = constfold.eval_binary(
+            result = constfold.eval_binary(
                 opcode, inst.operands[0].type, lhs, rhs
             )
+            frame.registers[id(inst)] = result
+            if self.value_hook is not None:
+                self.value_hook(inst, result)
             frame.index += 1
             return _CONTINUE
         if isinstance(inst, LoadInst):
             address = self._value(frame, inst.pointer)
-            frame.registers[id(inst)] = self.memory.load(address, inst.type)
+            loaded = self.memory.load(address, inst.type)
+            frame.registers[id(inst)] = loaded
+            if self.value_hook is not None:
+                self.value_hook(inst, loaded)
             frame.index += 1
             return _CONTINUE
         if isinstance(inst, StoreInst):
@@ -343,9 +355,12 @@ class Interpreter:
             raise ExecutionError("phi executed outside block entry")
         if isinstance(inst, CastInst):
             value = self._value(frame, inst.value)
-            frame.registers[id(inst)] = constfold.eval_cast(
+            result = constfold.eval_cast(
                 inst.value.type, inst.type, value
             )
+            frame.registers[id(inst)] = result
+            if self.value_hook is not None:
+                self.value_hook(inst, result)
             frame.index += 1
             return _CONTINUE
         if isinstance(inst, (CallInst, InvokeInst)):
@@ -361,6 +376,8 @@ class Interpreter:
             caller.pending_call = None
             if not call.type.is_void:
                 caller.registers[id(call)] = value
+                if self.value_hook is not None:
+                    self.value_hook(call, value)
             if isinstance(call, InvokeInst):
                 self._enter_block(caller, call.normal_dest)
             else:
@@ -380,9 +397,12 @@ class Interpreter:
         if isinstance(inst, ShiftInst):
             value = self._value(frame, inst.value)
             amount = self._value(frame, inst.amount)
-            frame.registers[id(inst)] = constfold.eval_shift(
+            result = constfold.eval_shift(
                 opcode, inst.type, value, amount
             )
+            frame.registers[id(inst)] = result
+            if self.value_hook is not None:
+                self.value_hook(inst, result)
             frame.index += 1
             return _CONTINUE
         if isinstance(inst, (MallocInst, AllocaInst)):
@@ -407,6 +427,8 @@ class Interpreter:
             value = self.memory.load(cursor, inst.type)
             self.memory.store(slot, types.pointer(types.SBYTE), cursor + 8)
             frame.registers[id(inst)] = value
+            if self.value_hook is not None:
+                self.value_hook(inst, value)
             frame.index += 1
             return _CONTINUE
         raise ExecutionError(f"cannot execute {inst!r}")
@@ -434,6 +456,8 @@ class Interpreter:
             result = external(self, arg_values)
             if not inst.type.is_void:
                 frame.registers[id(inst)] = result
+                if self.value_hook is not None:
+                    self.value_hook(inst, result)
             if isinstance(inst, InvokeInst):
                 self._enter_block(frame, inst.normal_dest)
             else:

@@ -14,6 +14,9 @@ mutates the IR.  The catalogue (see docs/ANALYSIS.md):
 ``call-signature``        calls through mismatched function-pointer casts,
                           plus cross-module symbol signature conflicts
 ``type-safety``           pointer casts whose target object DSA collapsed
+``div-by-zero-range``     division by a value proven zero by range analysis
+``shift-out-of-range``    shift amounts proven >= the operand's bit width
+``definite-overflow``     signed arithmetic that wraps on every execution
 ========================  =====================================================
 
 The first four are dataflow clients; ``gep-bounds`` is the *static*
@@ -29,9 +32,9 @@ from typing import Callable, Optional
 from ..analysis.cfg import reachable_blocks, unreachable_blocks
 from ..core import types
 from ..core.instructions import (
-    AllocaInst, AllocationInst, CallInst, CastInst, FreeInst,
-    GetElementPtrInst, Instruction, InvokeInst, LoadInst, PhiNode,
-    StoreInst, VAArgInst,
+    AllocaInst, AllocationInst, BinaryOperator, CallInst, CastInst, FreeInst,
+    GetElementPtrInst, Instruction, InvokeInst, LoadInst, Opcode, PhiNode,
+    ShiftInst, StoreInst, VAArgInst,
 )
 from ..core.module import Function, GlobalValue, Module
 from ..core.values import (
@@ -254,24 +257,40 @@ class NullDereferenceChecker:
 # ---------------------------------------------------------------------------
 
 class StaticBoundsChecker:
-    """Constant array indices outside ``[0, N)`` for ``[N x T]`` steps.
+    """Array indices provably outside ``[0, N)`` for ``[N x T]`` steps.
 
     The static complement of safecode.py: where the SAFECode pass
     inserts a runtime guard, this checker proves at compile time that
-    the guard would always fire.
+    the guard would always fire.  Constant indices are checked
+    directly; variable indices are checked against the interval the
+    abstract interpreter computed for them, and flagged only when the
+    *entire* interval misses the bound (so every execution traps).
     """
 
     name = "gep-bounds"
-    description = "constant getelementptr index outside the array bound"
+    description = "getelementptr index provably outside the array bound"
+    wants_ssa = True
 
     def check_module(self, module: Module, reporter: Reporter) -> None:
+        from ..analysis.absint import analyze_function
+
         for function in module.defined_functions():
+            facts = None
             for block in reachable_blocks(function):
                 for inst in block.instructions:
-                    if isinstance(inst, GetElementPtrInst):
-                        self._check_gep(inst, reporter)
+                    if not isinstance(inst, GetElementPtrInst):
+                        continue
+                    if facts is None and self._has_variable_index(inst):
+                        facts = analyze_function(function)
+                    self._check_gep(inst, facts, reporter)
 
-    def _check_gep(self, gep: GetElementPtrInst, reporter: Reporter) -> None:
+    @staticmethod
+    def _has_variable_index(gep: GetElementPtrInst) -> bool:
+        return any(not isinstance(index, ConstantInt)
+                   for index in gep.indices)
+
+    def _check_gep(self, gep: GetElementPtrInst, facts,
+                   reporter: Reporter) -> None:
         current = gep.pointer.type.pointee
         for position, index in enumerate(gep.indices):
             if position == 0:
@@ -280,14 +299,27 @@ class StaticBoundsChecker:
                 current = current.fields[index.value]  # type: ignore[attr-defined]
                 continue
             bound = current.count  # type: ignore[attr-defined]
-            if isinstance(index, ConstantInt) and not (0 <= index.value < bound):
-                reporter.error(
-                    self.name,
-                    f"index {index.value} is out of bounds for "
-                    f"{current} (valid range 0..{bound - 1})",
-                    instruction=gep,
-                    fixit=f"clamp the index into 0..{bound - 1}",
-                )
+            if isinstance(index, ConstantInt):
+                if not (0 <= index.value < bound):
+                    reporter.error(
+                        self.name,
+                        f"index {index.value} is out of bounds for "
+                        f"{current} (valid range 0..{bound - 1})",
+                        instruction=gep,
+                        fixit=f"clamp the index into 0..{bound - 1}",
+                    )
+            elif facts is not None:
+                interval = facts.interval_of(index)
+                if interval is not None and \
+                        (interval.hi < 0 or interval.lo >= bound):
+                    reporter.error(
+                        self.name,
+                        f"index range [{interval.lo}, {interval.hi}] is "
+                        f"entirely out of bounds for {current} "
+                        f"(valid range 0..{bound - 1})",
+                        instruction=gep,
+                        fixit=f"clamp the index into 0..{bound - 1}",
+                    )
             current = current.element  # type: ignore[attr-defined]
 
 
@@ -506,6 +538,158 @@ class TypeUnsafeCastChecker:
                         )
 
 
+# ---------------------------------------------------------------------------
+# Range-driven checkers: clients of the abstract interpreter
+# ---------------------------------------------------------------------------
+
+def _range_facts_for(function: Function, wanted) -> Optional[object]:
+    """Value facts for ``function`` iff it contains a ``wanted`` inst.
+
+    Keeps the absint solve off the common path: a checker only pays for
+    the analysis in functions that can possibly trigger it.
+    """
+    from ..analysis.absint import analyze_function
+
+    has_candidate = any(
+        wanted(inst)
+        for block in reachable_blocks(function)
+        for inst in block.instructions
+    )
+    return analyze_function(function) if has_candidate else None
+
+
+class RangeDivByZeroChecker:
+    """Integer division whose divisor the range analysis proves zero.
+
+    A constant-zero divisor is the degenerate case; the value of the
+    abstract domains is catching zeros that arrive through arithmetic
+    (``x & 0``, ``x % 1``, a phi of zeros, a masked byte multiplied
+    away) where no constant appears in the instruction itself.
+    """
+
+    name = "div-by-zero-range"
+    description = "division or remainder by a value proven to be zero"
+    wants_ssa = True
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        def wanted(inst):
+            return isinstance(inst, BinaryOperator) and \
+                inst.opcode in (Opcode.DIV, Opcode.REM) and \
+                inst.type.is_integer
+
+        for function in module.defined_functions():
+            facts = _range_facts_for(function, wanted)
+            if facts is None:
+                continue
+            for block in reachable_blocks(function):
+                for inst in block.instructions:
+                    if not wanted(inst):
+                        continue
+                    divisor = facts.abs_of(inst.rhs)
+                    if divisor is not None and divisor.singleton() == 0:
+                        what = inst.opcode.value
+                        reporter.error(
+                            self.name,
+                            f"{what} by a value that is provably zero",
+                            instruction=inst,
+                            fixit="guard the division with a zero check",
+                        )
+
+
+class ShiftOutOfRangeChecker:
+    """Shift amounts proven >= the shifted operand's bit width.
+
+    The IR's shifts saturate rather than trap, so the program is
+    well-defined — but a full-width shift always produces 0 (or the
+    sign fill), which is almost never what the source intended.
+    """
+
+    name = "shift-out-of-range"
+    description = "shift amount provably >= the operand's bit width"
+    wants_ssa = True
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        def wanted(inst):
+            return isinstance(inst, ShiftInst) and inst.type.is_integer
+
+        for function in module.defined_functions():
+            facts = _range_facts_for(function, wanted)
+            if facts is None:
+                continue
+            for block in reachable_blocks(function):
+                for inst in block.instructions:
+                    if not wanted(inst):
+                        continue
+                    amount = facts.interval_of(inst.amount)
+                    bits = inst.type.bits
+                    if amount is not None and amount.lo >= bits:
+                        what = inst.opcode.value
+                        low = (f"amount {amount.lo}"
+                               if amount.is_singleton else
+                               f"amount is at least {amount.lo}")
+                        reporter.warning(
+                            self.name,
+                            f"{what} of a {bits}-bit value by {low}: the "
+                            f"result is always the saturated fill value",
+                            instruction=inst,
+                            fixit=f"mask the shift amount to 0..{bits - 1}",
+                        )
+
+
+class DefiniteOverflowChecker:
+    """Signed add/sub/mul whose exact result never fits the type.
+
+    Uses the *pre-wrap* mathematical range of the operation: when that
+    entire range falls outside the type's representable values, every
+    execution of the instruction wraps.  Restricted to signed types —
+    unsigned wraparound is idiomatic (hashing, masking, counters).
+    """
+
+    name = "definite-overflow"
+    description = "signed arithmetic that overflows on every execution"
+    wants_ssa = True
+
+    _OPCODES = (Opcode.ADD, Opcode.SUB, Opcode.MUL)
+
+    def check_module(self, module: Module, reporter: Reporter) -> None:
+        from ..analysis.absint import (
+            exact_binary_range, shape_bounds, shape_of,
+        )
+
+        def wanted(inst):
+            return isinstance(inst, BinaryOperator) and \
+                inst.opcode in self._OPCODES and inst.type.is_integer and \
+                inst.type.signed
+
+        for function in module.defined_functions():
+            facts = _range_facts_for(function, wanted)
+            if facts is None:
+                continue
+            for block in reachable_blocks(function):
+                for inst in block.instructions:
+                    if not wanted(inst):
+                        continue
+                    lhs = facts.interval_of(inst.lhs)
+                    rhs = facts.interval_of(inst.rhs)
+                    if lhs is None or rhs is None:
+                        continue
+                    exact = exact_binary_range(inst.opcode, lhs, rhs)
+                    if exact is None:
+                        continue
+                    lo, hi = shape_bounds(shape_of(inst.type))
+                    if exact[1] < lo or exact[0] > hi:
+                        what = inst.opcode.value
+                        reporter.warning(
+                            self.name,
+                            f"{what} always overflows {inst.type}: the "
+                            f"exact result is in [{exact[0]}, {exact[1]}] "
+                            f"but the type holds [{lo}, {hi}]",
+                            instruction=inst,
+                            fixit="widen the operands before the "
+                            "arithmetic or rework the expression",
+                        )
+
+
 #: Checker registry, in report order.
 ALL_CHECKERS = (
     UninitializedLoadChecker,
@@ -515,6 +699,9 @@ ALL_CHECKERS = (
     UnreachableCodeChecker,
     CallSignatureChecker,
     TypeUnsafeCastChecker,
+    RangeDivByZeroChecker,
+    ShiftOutOfRangeChecker,
+    DefiniteOverflowChecker,
 )
 
 CHECKERS = {checker.name: checker for checker in ALL_CHECKERS}

@@ -594,12 +594,41 @@ def summarize_function_ipa(function: Function) -> AnalysisSummary:
             return [["const", TAINT_CLEAN]]
         return [["const", TAINT_CLEAN]]
 
+    absint_facts: list = []  # lazily computed, at most once per function
+
+    def absint_range(value: Value):
+        """The abstract interpreter's interval for ``value``, as a
+        ``(lo, hi)`` pair, or None when it adds nothing over top."""
+        if not isinstance(value.type, types.IntegerType):
+            return None
+        if not absint_facts:
+            from ..analysis.absint import analyze_function as _absint
+            absint_facts.append(_absint(function))
+        fact = absint_facts[0].abs_of(value)
+        if fact is None or fact.interval.is_top(fact.shape):
+            return None
+        return (fact.interval.lo, fact.interval.hi)
+
+    def best_range(value: Value):
+        """``value_range`` sharpened by the abstract interpreter: keep
+        the tighter bound on each side (both are sound over-approxima-
+        tions, so their intersection is too)."""
+        rng = value_range(value)
+        lo, hi = (None, None) if rng == RANGE_TOP else rng
+        sharp = absint_range(value)
+        if sharp is not None:
+            lo = sharp[0] if lo is None else max(lo, sharp[0])
+            hi = sharp[1] if hi is None else min(hi, sharp[1])
+            if lo > hi:  # contradictory — trust neither side
+                return RANGE_UNBOUNDED
+        return (lo, hi)
+
     def simple_range_atom(value: Value) -> list:
         if isinstance(value, Argument):
             index = param_index.get(id(value))
             if index is not None:
                 return ["param", index]
-        rng = value_range(value)
+        rng = best_range(value)
         return ["const", rng[0], rng[1]]
 
     def eval_range(value: Value, visited: set) -> List[list]:
@@ -624,7 +653,7 @@ def summarize_function_ipa(function: Function) -> AnalysisSummary:
                 args = [simple_range_atom(a) for a in value.args]
                 return [["ret", target.name, args]]
             return [["const", None, None]]
-        rng = value_range(value)
+        rng = best_range(value)
         return [["const", rng[0], rng[1]]]
 
     def malloc_is_owned(alloc: MallocInst, ret_value: Value) -> bool:

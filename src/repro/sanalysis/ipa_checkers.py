@@ -564,11 +564,14 @@ class IPATaintChecker(IPAChecker):
 class IPABoundsAdvisor(IPAChecker):
     """Advisory notes for variable array indices, minus the proven-safe.
 
-    The static ``gep-bounds`` checker can only judge constant indices.
-    In whole-program mode this advisor covers the variable ones: any
-    index whose range — folded locally and through callee return-range
-    summaries — provably fits ``[0, N)`` is silent, and only the rest
-    get an advisory note (severity below the ``-Werror`` gate).
+    The static ``gep-bounds`` checker only flags indices that are
+    *provably out* of bounds.  In whole-program mode this advisor
+    covers the remaining variable ones: any index whose range —
+    computed by the abstract interpreter with callee return-range
+    summaries feeding call results, with the syntactic ``value_range``
+    folder as a second opinion — provably fits ``[0, N)`` is silent,
+    and only the rest get an advisory note (severity below the
+    ``-Werror`` gate).
     """
 
     name = "gep-bounds"
@@ -577,9 +580,12 @@ class IPABoundsAdvisor(IPAChecker):
 
     def check_function(self, function: Function,
                        reporter: Reporter) -> None:
+        from ..analysis.absint import analyze_function
+
         def call_range(inst):
             return self.program.call_return_range(self.scope, inst)
 
+        facts = None
         for block in reachable_blocks(function):
             for inst in block.instructions:
                 if not isinstance(inst, GetElementPtrInst):
@@ -597,6 +603,13 @@ class IPABoundsAdvisor(IPAChecker):
                         continue  # the static checker owns constants
                     rng = value_range(index, call_range)
                     if range_proves_in_bounds(rng, bound):
+                        continue
+                    if facts is None:
+                        facts = analyze_function(function,
+                                                 call_range=call_range)
+                    interval = facts.interval_of(index)
+                    if interval is not None and \
+                            0 <= interval.lo and interval.hi < bound:
                         continue
                     reporter.note(
                         self.name,

@@ -212,6 +212,12 @@ def lc_dis(argv=None) -> int:
 _PASS_FACTORIES = {}
 
 
+def _range_dump_pass():
+    from .analysis.absint.engine import RangeDumpPass
+
+    return RangeDumpPass()
+
+
 def _pass_registry():
     if not _PASS_FACTORIES:
         from . import transforms
@@ -246,6 +252,8 @@ def _pass_registry():
             "heap2stack": ipo.HeapToStackPromotion,
             "safecode": BoundsCheckInsertion,
             "typeerase": TypeEraser,
+            "rangeopt": transforms.RangeOpt,
+            "ranges": _range_dump_pass,
         })
     return _PASS_FACTORIES
 
@@ -262,6 +270,10 @@ def lc_opt(argv=None) -> int:
                         help="run the standard -ON pipeline")
     parser.add_argument("-p", "--passes", default="",
                         help=f"comma list from: {', '.join(sorted(_pass_registry()))}")
+    parser.add_argument("-analyze", default=None, dest="analyze",
+                        metavar="NAME",
+                        help="print an analysis dump instead of "
+                             "transforming (currently: ranges)")
     parser.add_argument("--verify-each", action="store_true",
                         help="run the IR verifier after every pass")
     parser.add_argument("-stats", action="store_true", dest="stats",
@@ -272,6 +284,15 @@ def lc_opt(argv=None) -> int:
     _add_fault_arguments(parser)
     args = parser.parse_args(argv)
     module = _read_module(args.input)
+    if args.analyze is not None:
+        if args.analyze != "ranges":
+            parser.error(f"unknown analysis {args.analyze!r}")
+        from .analysis.absint.engine import RangeDumpPass
+
+        dump = RangeDumpPass(stream=sys.stdout)
+        for function in module.defined_functions():
+            dump.run_on_function(function)
+        return 0
     policy = _make_fault_policy(args)
     managers = []
     # One shared timing sink across every manager this invocation
@@ -855,6 +876,54 @@ def lc_synth(argv=None) -> int:
     return 1 if report.cast_problems else 0
 
 
+def lc_absint(argv=None) -> int:
+    """Verified abstract interpretation: self-check and range dumps."""
+    parser = argparse.ArgumentParser(
+        prog="lc-absint",
+        description="value-range + known-bits abstract interpretation: "
+                    "machine-check every abstract transformer against "
+                    "the concrete constfold semantics (--self-check), "
+                    "or dump per-value facts for a module",
+    )
+    parser.add_argument("input", nargs="?", default=None,
+                        help="module to analyze and dump (.ll/.bc or - "
+                             "for stdin)")
+    parser.add_argument("--self-check", action="store_true",
+                        dest="self_check",
+                        help="run the soundness ladder over every "
+                             "transformer; exit 1 on any violation "
+                             "(the CI absint-gate mode)")
+    parser.add_argument("--fast", action="store_true",
+                        help="with --self-check: the narrow fast ladder "
+                             "(3-bit exhaustive) instead of the full one")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_check:
+        from .analysis.absint import run_self_check
+
+        log = None if args.quiet else (
+            lambda message: print(f"lc-absint: {message}", file=sys.stderr))
+        problems = run_self_check(full=not args.fast, log=log)
+        for problem in problems:
+            print(f"lc-absint: UNSOUND: {problem}", file=sys.stderr)
+        if not args.quiet:
+            status = "FAILED" if problems else "ok"
+            print(f"lc-absint: self-check {status} "
+                  f"({len(problems)} violation(s))", file=sys.stderr)
+        return 1 if problems else 0
+
+    if args.input is None:
+        parser.error("an input module is required without --self-check")
+    from .analysis.absint.engine import RangeDumpPass
+
+    module = _read_module(args.input)
+    dump = RangeDumpPass(stream=sys.stdout)
+    for function in module.defined_functions():
+        dump.run_on_function(function)
+    return 0
+
+
 def lc_bench(argv=None) -> int:
     """Benchmark the compiler's own throughput, phase by phase.
 
@@ -957,7 +1026,7 @@ _TOOLS = {
     "cc": lc_cc, "as": lc_as, "dis": lc_dis, "opt": lc_opt,
     "link": lc_link, "run": lc_run, "llc": lc_llc, "lint": lc_lint,
     "fuzz": lc_fuzz, "bugpoint": lc_bugpoint, "synth": lc_synth,
-    "bench": lc_bench,
+    "bench": lc_bench, "absint": lc_absint,
 }
 
 

@@ -13,6 +13,7 @@ from .mem2reg import PromoteMem2Reg
 from .passmanager import (
     FunctionPassAdaptor, ModulePassAdaptor, PassManager, PassTimings,
 )
+from .rangeopt import RangeOpt
 from .reassociate import Reassociate
 from .sccp import SCCP
 from .simplifycfg import SimplifyCFG
@@ -22,7 +23,8 @@ from .tailrec import TailRecursionElimination
 __all__ = [
     "ConstantPropagation", "AggressiveDCE", "DeadCodeElimination", "GVN",
     "InstCombine", "LICM", "PromoteMem2Reg", "FunctionPassAdaptor",
-    "ModulePassAdaptor", "PassManager", "PassTimings", "Reassociate",
+    "ModulePassAdaptor", "PassManager", "PassTimings", "RangeOpt",
+    "Reassociate",
     "SCCP", "SimplifyCFG", "ScalarReplAggregates",
     "TailRecursionElimination",
 ]

@@ -10,7 +10,10 @@ elimination" see it.
 
 Also performs simple redundant-load elimination: a load is replaced by
 a dominating load/store of the same pointer when no intervening
-instruction may write memory.
+instruction may write memory.  When the quick syntactic alias test
+cannot separate a store from a remembered load fact, DSA node identity
+gets a second opinion: distinct points-to nodes (neither ``unknown``)
+prove the store writes other memory, and the fact survives.
 """
 
 from __future__ import annotations
@@ -34,19 +37,60 @@ class GVN:
 
     name = "gvn"
 
+    def __init__(self):
+        self._dsa_cache: dict = {}
+        self.loads_eliminated_via_dsa = 0
+
+    def statistics(self) -> dict:
+        return {"loads-eliminated-via-dsa": self.loads_eliminated_via_dsa}
+
+    def _dsa_for(self, function: Function):
+        """The module's DSA, built on first demand and shared across
+        this pass object's per-function runs (points-to facts only get
+        coarser as GVN deletes instructions, so reuse stays sound)."""
+        module = function.parent
+        if module is None:
+            return None
+        key = id(module)
+        if key not in self._dsa_cache:
+            from ..analysis.dsa import DataStructureAnalysis
+
+            self._dsa_cache[key] = DataStructureAnalysis(module)
+        return self._dsa_cache[key]
+
     def run_on_function(self, function: Function) -> bool:
-        domtree = DominatorTree(function)
-        return _Numbering(function, domtree).run()
+        numbering = _Numbering(function, DominatorTree(function),
+                               lambda: self._dsa_for(function))
+        changed = numbering.run()
+        self.loads_eliminated_via_dsa += numbering.dsa_loads_eliminated
+        return changed
 
 
 class _Numbering:
-    def __init__(self, function: Function, domtree: DominatorTree):
+    def __init__(self, function: Function, domtree: DominatorTree,
+                 dsa_factory=lambda: None):
         self.function = function
         self.domtree = domtree
         self.changed = False
+        self._dsa_factory = dsa_factory
+        #: memory-fact keys that only survived a store thanks to DSA.
+        self._dsa_saved: set = set()
+        self.dsa_loads_eliminated = 0
         #: value id for operands: constants keyed structurally, others by id.
         self._value_ids: dict = {}
         self._next_id = 0
+
+    def _dsa_disjoint(self, a: Value, b: Value) -> bool:
+        """Do the two pointers provably name disjoint memory?  True
+        only for distinct DSA nodes of which neither is ``unknown``
+        (two unknown nodes may overlap no matter their identity)."""
+        dsa = self._dsa_factory()
+        if dsa is None:
+            return False
+        node_a = dsa._cell_of(a).node.find()
+        node_b = dsa._cell_of(b).node.find()
+        return node_a is not node_b \
+            and not node_a.unknown and not node_b.unknown
 
     def run(self) -> bool:
         # Iterative dominator-tree preorder walk (deep CFGs would blow
@@ -67,12 +111,16 @@ class _Numbering:
         memory = dict(memory)
         for inst in list(block.instructions):
             if isinstance(inst, StoreInst):
-                # Evict only the facts the store may clobber.
-                memory = {
-                    key: (pointer, value)
-                    for key, (pointer, value) in memory.items()
-                    if alias(pointer, inst.pointer) is AliasResult.NO_ALIAS
-                }
+                # Evict only the facts the store may clobber; when the
+                # syntactic test says "maybe", ask DSA for disjointness.
+                kept = {}
+                for key, (pointer, value) in memory.items():
+                    if alias(pointer, inst.pointer) is AliasResult.NO_ALIAS:
+                        kept[key] = (pointer, value)
+                    elif self._dsa_disjoint(pointer, inst.pointer):
+                        kept[key] = (pointer, value)
+                        self._dsa_saved.add(key)
+                memory = kept
                 memory[("mem", self._id_of(inst.pointer))] = (
                     inst.pointer, inst.value
                 )
@@ -85,6 +133,8 @@ class _Numbering:
                 if earlier is not None and earlier[1].type is inst.type:
                     replace_and_erase(inst, earlier[1])
                     self.changed = True
+                    if key in self._dsa_saved:
+                        self.dsa_loads_eliminated += 1
                     continue
                 memory[key] = (inst.pointer, inst)
                 continue

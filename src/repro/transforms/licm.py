@@ -2,28 +2,80 @@
 
 Hoists computations whose operands are defined outside the loop into
 the loop preheader.  Only side-effect-free, non-trapping instructions
-move (loads move only when the loop contains no possible memory write —
-the conservative answer without running a full alias analysis).
+move.  Loads move when no memory write in the loop can clobber the
+loaded location: trivially when the loop writes no memory at all, and
+otherwise when DSA node disambiguation (stores, frees) and Mod/Ref
+analysis (direct calls) rule out every writer.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..analysis.alias import AliasResult, alias
 from ..analysis.cfg import split_critical_edge
 from ..analysis.dominators import DominatorTree
 from ..analysis.loops import Loop, LoopInfo
 from ..core.basicblock import BasicBlock
 from ..core.instructions import (
-    BinaryOperator, BranchInst, CastInst, GetElementPtrInst, Instruction,
-    LoadInst, Opcode, PhiNode, ShiftInst,
+    BinaryOperator, BranchInst, CallInst, CastInst, FreeInst,
+    GetElementPtrInst, Instruction, InvokeInst, LoadInst, Opcode, PhiNode,
+    ShiftInst, StoreInst,
 )
 from ..core.module import Function
 from ..core.values import Constant, ConstantInt, Value
+
+
+class _MemoryDisambiguator:
+    """DSA/ModRef answers to "may this writer clobber this pointer?".
+
+    Built lazily, at most once per module: the first loop that both
+    writes memory and contains a candidate load pays for the analysis,
+    every later loop reuses it.  Two pointers are disjoint when their
+    DSA nodes differ and *neither* is ``unknown`` — two distinct
+    unknown nodes may still overlap, so unknown never disambiguates.
+    """
+
+    def __init__(self, module):
+        from ..analysis.dsa import DataStructureAnalysis
+        from ..analysis.modref import ModRefAnalysis
+
+        self.dsa = DataStructureAnalysis(module)
+        self.modref = ModRefAnalysis(module, self.dsa)
+
+    def _node_of(self, pointer):
+        return self.dsa._cell_of(pointer).node.find()
+
+    def may_clobber(self, writer: Instruction, pointer: Value) -> bool:
+        node = self._node_of(pointer)
+        if node.unknown:
+            return True
+        if isinstance(writer, (StoreInst, FreeInst)):
+            written = writer.pointer
+            if isinstance(writer, StoreInst) and \
+                    alias(pointer, written) is AliasResult.NO_ALIAS:
+                return False
+            other = self._node_of(written)
+            return other.unknown or other is node
+        if isinstance(writer, (CallInst, InvokeInst)):
+            target = writer.callee
+            if isinstance(target, Function):
+                return self.modref.may_modify(target, pointer)
+            return True  # indirect call: anything may be written
+        return True  # vaarg and anything else that writes
 
 
 class LICM:
     """The pass object (see module docstring)."""
 
     name = "licm"
+
+    def __init__(self):
+        self._disambiguators: dict = {}
+        self.loads_hoisted_past_writes = 0
+
+    def statistics(self) -> dict:
+        return {"loads-hoisted-past-writes": self.loads_hoisted_past_writes}
 
     def run_on_function(self, function: Function) -> bool:
         loop_info = LoopInfo(function)
@@ -33,6 +85,27 @@ class LICM:
         for loop in loops:
             changed |= self._process_loop(function, loop, loop_info.domtree)
         return changed
+
+    def _disambiguator(self, function: Function) -> \
+            Optional[_MemoryDisambiguator]:
+        module = function.parent
+        if module is None:
+            return None
+        key = id(module)
+        if key not in self._disambiguators:
+            self._disambiguators[key] = _MemoryDisambiguator(module)
+        return self._disambiguators[key]
+
+    def _load_is_safe(self, load: LoadInst, writers: list,
+                      function: Function) -> bool:
+        """No writer in the loop can clobber what ``load`` reads."""
+        if not writers:
+            return True
+        aa = self._disambiguator(function)
+        if aa is None:
+            return False
+        return not any(aa.may_clobber(writer, load.pointer)
+                       for writer in writers)
 
     def _process_loop(self, function: Function, loop: Loop,
                       domtree: DominatorTree) -> bool:
@@ -45,27 +118,31 @@ class LICM:
             # The rewiring alone (new block, phi and branch edits) is a
             # change, whether or not anything hoists into it.
             created = True
-        loop_writes_memory = any(
-            inst.may_write_memory()
+        writers = [
+            inst
             for block in loop.blocks
             for inst in block.instructions
-        )
+            if inst.may_write_memory()
+        ]
         changed = created
         moved = True
         while moved:
             moved = False
             for block in loop.blocks:
                 for inst in list(block.instructions):
-                    if not _is_hoistable(inst, loop_writes_memory):
+                    if not _is_hoistable(inst):
                         continue
                     if not _operands_invariant(inst, loop):
                         continue
-                    if isinstance(inst, LoadInst) and not _dominates_exits(
-                        inst, loop, domtree
-                    ):
-                        # Hoisting a conditional load would speculate a
-                        # possibly-trapping memory access.
-                        continue
+                    if isinstance(inst, LoadInst):
+                        if not self._load_is_safe(inst, writers, function):
+                            continue
+                        if not _dominates_exits(inst, loop, domtree):
+                            # Hoisting a conditional load would speculate
+                            # a possibly-trapping memory access.
+                            continue
+                        if writers:
+                            self.loads_hoisted_past_writes += 1
                     block.instructions.remove(inst)
                     inst.parent = None
                     preheader.insert_before_terminator(inst)
@@ -74,7 +151,7 @@ class LICM:
         return changed
 
 
-def _is_hoistable(inst: Instruction, loop_writes_memory: bool) -> bool:
+def _is_hoistable(inst: Instruction) -> bool:
     if isinstance(inst, (CastInst, GetElementPtrInst, ShiftInst)):
         return True
     if isinstance(inst, BinaryOperator):
@@ -84,9 +161,7 @@ def _is_hoistable(inst: Instruction, loop_writes_memory: bool) -> bool:
             divisor = inst.operands[1]
             return isinstance(divisor, Constant) and not divisor.is_null_value()
         return True
-    if isinstance(inst, LoadInst):
-        return not loop_writes_memory
-    return False
+    return isinstance(inst, LoadInst)
 
 
 def _dominates_exits(inst: Instruction, loop: Loop, domtree: DominatorTree) -> bool:

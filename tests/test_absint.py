@@ -1,0 +1,426 @@
+"""Tests for the abstract interpreter (analysis/absint), the rangeopt
+pass it feeds, and the range-driven lint checkers."""
+
+import io
+
+import pytest
+
+from repro.analysis.absint import (
+    BOOL_SHAPE, Interval, KnownBits, analyze_function, analyze_module,
+    exact_binary_range, interval_binary, interval_from_kb, kb_binary,
+    kb_from_interval, reduce_pair, run_self_check, shape_of,
+)
+from repro.core import parse_function, parse_module, types, verify_function
+from repro.core.constfold import ArithmeticFault, eval_binary
+from repro.core.instructions import Opcode
+from repro.execution import ExecutionError, Interpreter
+from repro.frontend import compile_source
+from repro.sanalysis import run_checkers
+from repro.transforms import PromoteMem2Reg, RangeOpt
+
+
+INT = (32, True)
+UINT = (32, False)
+
+
+class TestDomains:
+    def test_interval_join_and_intersect(self):
+        a, b = Interval(0, 5), Interval(3, 9)
+        assert a.join(b) == Interval(0, 9)
+        assert a.intersect(b) == Interval(3, 5)
+        assert Interval(0, 1).intersect(Interval(5, 6)) is None
+
+    def test_knownbits_membership(self):
+        kb = KnownBits(8, zeros=0b1, ones=0b100)  # xxxxx10x
+        assert kb.contains((8, False), 0b0100)
+        assert kb.contains((8, False), 0b1100)
+        assert not kb.contains((8, False), 0b0101)  # bit0 must be 0
+        assert not kb.contains((8, False), 0b0000)  # bit2 must be 1
+
+    def test_reduction_is_sound_and_sharpening(self):
+        # [4, 5] pins the common high bits: 000001xx -> 0000010x.
+        iv = Interval(4, 5)
+        kb = kb_from_interval(INT, iv)
+        assert kb.contains(INT, 4) and kb.contains(INT, 5)
+        assert not kb.contains(INT, 6)
+        back = interval_from_kb(INT, kb)
+        assert back.contains_interval(iv)
+        riv, rkb = reduce_pair(INT, Interval(0, 100), KnownBits.const(INT, 7))
+        assert riv == Interval(7, 7)
+
+    def test_interval_binary_matches_concrete(self):
+        a, b = Interval(-3, 4), Interval(2, 5)
+        for opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV):
+            result = interval_binary(opcode, INT, a, b)
+            for x in range(a.lo, a.hi + 1):
+                for y in range(b.lo, b.hi + 1):
+                    concrete = eval_binary(opcode, types.INT, x, y)
+                    assert result.contains(concrete), (opcode, x, y)
+
+    def test_kb_and_tracks_masks(self):
+        kb = kb_binary(Opcode.AND, UINT, KnownBits.top(32),
+                       KnownBits.const(UINT, 0xFF))
+        assert kb.zeros & 0xFFFFFF00 == 0xFFFFFF00  # high bits known zero
+
+    def test_exact_binary_range_prewrap(self):
+        big = Interval(2_000_000_000, 2_000_000_000)
+        assert exact_binary_range(Opcode.ADD, big, big) == \
+            (4_000_000_000, 4_000_000_000)
+        assert exact_binary_range(Opcode.DIV, big, big) is None
+
+    def test_shape_of(self):
+        assert shape_of(types.INT) == INT
+        assert shape_of(types.BOOL) == BOOL_SHAPE
+        assert shape_of(types.FLOAT) is None
+
+
+class TestSelfCheck:
+    def test_fast_ladder_is_clean(self):
+        assert run_self_check(full=False) == []
+
+
+class TestEngine:
+    def _facts(self, text):
+        fn = parse_function(text)
+        return fn, analyze_function(fn)
+
+    def test_mask_and_compare(self):
+        fn, facts = self._facts("""
+int %f(int %x) {
+entry:
+  %masked = and int %x, 15
+  %big = setgt int %masked, 100
+  ret int %masked
+}
+""")
+        masked = next(i for i in fn.instructions() if i.name == "masked")
+        big = next(i for i in fn.instructions() if i.name == "big")
+        assert facts.interval_of(masked) == Interval(0, 15)
+        assert facts.interval_of(big) == Interval(0, 0)  # proven false
+
+    def test_loop_phi_widens_soundly(self):
+        fn, facts = self._facts("""
+int %f(int %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %i
+}
+""")
+        phi = next(i for i in fn.instructions() if i.name == "i")
+        interval = facts.interval_of(phi)
+        # Sound (admits every iteration count) even if imprecise.
+        for count in (0, 1, 100, 2**31 - 1):
+            assert interval.contains(count)
+
+    def test_unreachable_code_is_undef(self):
+        fn, facts = self._facts("""
+int %f() {
+entry:
+  ret int 1
+dead:
+  %v = add int 1, 2
+  ret int %v
+}
+""")
+        dead = next(i for i in fn.instructions() if i.name == "v")
+        assert facts.is_unreached(dead)
+
+    def test_call_range_hook_feeds_results(self):
+        fn = parse_function("""
+int %f() {
+entry:
+  %v = call int %mystery()
+  ret int %v
+}
+
+declare int %mystery()
+""")
+        facts = analyze_function(fn, call_range=lambda inst: (0, 9))
+        call = next(i for i in fn.instructions() if i.name == "v")
+        assert facts.interval_of(call) == Interval(0, 9)
+
+
+class TestRangeOpt:
+    def _run(self, text):
+        fn = parse_function(text)
+        opt = RangeOpt()
+        changed = opt.run_on_function(fn)
+        verify_function(fn)
+        return fn, opt, changed
+
+    def test_rem_identity(self):
+        fn, opt, changed = self._run("""
+int %f(int %x) {
+entry:
+  %small = and int %x, 7
+  %r = rem int %small, 100
+  ret int %r
+}
+""")
+        assert changed and opt.rem_identities == 1
+        assert not any(i.opcode == Opcode.REM for i in fn.instructions())
+
+    def test_div_by_power_of_two_becomes_shift(self):
+        fn, opt, changed = self._run("""
+int %f(int %x) {
+entry:
+  %nonneg = and int %x, 1023
+  %q = div int %nonneg, 16
+  ret int %q
+}
+""")
+        assert changed and opt.divrem_reduced == 1
+        assert any(i.opcode == Opcode.SHR for i in fn.instructions())
+        assert not any(i.opcode == Opcode.DIV for i in fn.instructions())
+
+    def test_possibly_negative_dividend_not_reduced(self):
+        fn, opt, changed = self._run("""
+int %f(int %x) {
+entry:
+  %q = div int %x, 16
+  ret int %q
+}
+""")
+        assert opt.divrem_reduced == 0
+        assert any(i.opcode == Opcode.DIV for i in fn.instructions())
+
+    def test_possible_trap_not_folded(self):
+        # 10 div (x & 1): divisor may be zero, so no rewrite may erase
+        # the instruction even though x&1 in {0,1} makes results tiny.
+        fn, opt, changed = self._run("""
+int %f(int %x) {
+entry:
+  %d = and int %x, 1
+  %q = div int 10, %d
+  ret int %q
+}
+""")
+        assert any(i.opcode == Opcode.DIV for i in fn.instructions())
+
+    def test_comparison_and_branch_fold(self):
+        fn, opt, changed = self._run("""
+int %f(int %x) {
+entry:
+  %masked = and int %x, 15
+  %c = setlt int %masked, 100
+  br bool %c, label %yes, label %no
+yes:
+  ret int 1
+no:
+  ret int 0
+}
+""")
+        assert opt.cmps_folded == 1 and opt.branches_folded == 1
+        assert Interpreter(fn.parent).run("f", [12345]) == 1
+
+    def test_redundant_and_simplified(self):
+        fn, opt, changed = self._run("""
+int %f(int %x) {
+entry:
+  %low = and int %x, 15
+  %again = and int %low, 255
+  ret int %again
+}
+""")
+        assert opt.bitops_simplified == 1
+        assert Interpreter(fn.parent).run("f", [0xABC]) == 0xC
+
+    def test_semantics_preserved_end_to_end(self):
+        source = """
+int work(int x) {
+  int nonneg = x & 2047;
+  int q = nonneg / 32;
+  int r = nonneg % 8;
+  int keep = (q & 63) | 0;
+  return q + r + keep;
+}
+
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 50; i = i + 1)
+    acc = acc + work(i * 37);
+  return acc;
+}
+"""
+        module = compile_source(source, "rangeopt_e2e")
+        expected = Interpreter(module).run("main", [])
+        PromoteMem2Reg().run_on_function(module.functions["work"])
+        PromoteMem2Reg().run_on_function(module.functions["main"])
+        opt = RangeOpt()
+        for fn in module.defined_functions():
+            opt.run_on_function(fn)
+            verify_function(fn)
+        assert Interpreter(module).run("main", []) == expected
+
+
+class TestFuzzOracle:
+    def test_interpreter_values_within_computed_facts(self):
+        """Every concrete SSA value the -O0 interpreter produces must be
+        admitted by the corresponding abstract fact — a violation is a
+        soundness bug in a transfer function or the solver."""
+        from repro.fuzz.generator import generate_program
+
+        programs_run = 0
+        for seed in range(1, 9):
+            module = compile_source(generate_program(seed), f"fuzz{seed}")
+            facts_by_fn = analyze_module(module)
+            violations = []
+
+            def hook(inst, value):
+                block = inst.parent
+                if block is None or block.parent is None:
+                    return
+                facts = facts_by_fn.get(block.parent.name)
+                if facts is None or not isinstance(value, int):
+                    return
+                if not facts.contains(inst, value):
+                    violations.append(
+                        (block.parent.name, inst.name, value,
+                         facts.abs_of(inst)))
+
+            interp = Interpreter(module, step_limit=2_000_000)
+            interp.value_hook = hook
+            try:
+                interp.run("main", [])
+                programs_run += 1
+            except (ArithmeticFault, ExecutionError):
+                pass  # a trapping program still checked every value
+            assert not violations, violations[:5]
+        assert programs_run > 0
+
+
+class TestRangeCheckers:
+    def test_div_by_zero_range(self):
+        module = compile_source("""
+int bad(int x) {
+  int n = x & 0;
+  return 10 / n;
+}
+""", "m")
+        found = run_checkers(module, checks=["div-by-zero-range"])
+        assert any(d.checker == "div-by-zero-range" for d in found)
+
+    def test_shift_out_of_range(self):
+        module = compile_source("""
+int bad(int x) {
+  int k = 40;
+  return x << k;
+}
+""", "m")
+        found = run_checkers(module, checks=["shift-out-of-range"])
+        assert any(d.checker == "shift-out-of-range" for d in found)
+
+    def test_definite_overflow(self):
+        module = compile_source("""
+int bad() {
+  int big = 2000000000;
+  return big + big;
+}
+""", "m")
+        found = run_checkers(module, checks=["definite-overflow"])
+        assert any(d.checker == "definite-overflow" for d in found)
+
+    def test_unsigned_wraparound_not_flagged(self):
+        module = compile_source("""
+uint fine() {
+  uint big = 4000000000u;
+  return big + big;
+}
+""", "m")
+        found = run_checkers(module, checks=["definite-overflow"])
+        assert not found
+
+    def test_gep_bounds_range_precise(self):
+        module = compile_source("""
+int bad() {
+  int table[8];
+  int i = 9;
+  int j = i + 2;
+  table[0] = 1;
+  return table[j];
+}
+
+int fine(int x) {
+  int table[8];
+  int i = x & 7;
+  table[0] = 1;
+  return table[i];
+}
+""", "m")
+        found = run_checkers(module, checks=["gep-bounds"])
+        assert len([d for d in found if d.checker == "gep-bounds"
+                    and str(d.severity) == "error"]) == 1
+
+    def test_clean_code_stays_clean(self):
+        module = compile_source("""
+int fine(int x) {
+  int d = (x & 7) + 1;
+  int q = 100 / d;
+  return (q << 2) + (x >> 31);
+}
+""", "m")
+        found = run_checkers(module, checks=[
+            "div-by-zero-range", "shift-out-of-range", "definite-overflow"])
+        assert not found
+
+
+class TestInterprocRanges:
+    def test_return_range_sharpened_by_absint(self):
+        from repro.sanalysis.interproc import summarize_function_ipa
+
+        module = parse_module("""
+int %narrow(int %x) {
+entry:
+  %v = shr int %x, ubyte 28
+  ret int %v
+}
+""")
+        summary = summarize_function_ipa(module.functions["narrow"])
+        # The syntactic folder cannot bound a shift; absint can: a
+        # signed 32-bit value >> 28 lands in [-8, 7].
+        assert summary.return_range == [["const", -8, 7]]
+
+
+class TestDumpTooling:
+    def test_range_dump_pass_prints_facts(self):
+        from repro.analysis.absint import RangeDumpPass
+
+        fn = parse_function("""
+int %f(int %x) {
+entry:
+  %masked = and int %x, 15
+  ret int %masked
+}
+""")
+        stream = io.StringIO()
+        RangeDumpPass(stream=stream).run_on_function(fn)
+        text = stream.getvalue()
+        assert "value facts" in text and "%masked" in text
+        assert "[0, 15]" in text
+
+    def test_lc_absint_self_check_cli(self, capsys):
+        from repro.tools import lc_absint
+
+        assert lc_absint(["--self-check", "--fast"]) == 0
+        assert "self-check ok" in capsys.readouterr().err
+
+    def test_lc_opt_analyze_ranges(self, tmp_path, capsys):
+        from repro.tools import lc_opt
+
+        source = tmp_path / "in.ll"
+        source.write_text("""
+int %f(int %x) {
+entry:
+  %masked = and int %x, 15
+  ret int %masked
+}
+""")
+        assert lc_opt(["-analyze", "ranges", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "value facts" in out and "[0, 15]" in out

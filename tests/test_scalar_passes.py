@@ -834,3 +834,189 @@ b:
                     user_parent = use.user.parent
                     if not isinstance(inst, AllocaInst):
                         assert user_parent is block
+
+
+class TestLICMModRef:
+    """Load hoisting past loop writes the alias analyses disambiguate."""
+
+    def test_load_hoisted_past_disjoint_store(self):
+        fn = parse_function("""
+int %f(int %n) {
+entry:
+  %a = alloca int
+  %b = alloca int
+  store int 5, int* %a
+  store int 0, int* %b
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %v = load int* %a
+  %acc = add int %i, %v
+  store int %acc, int* %b
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %acc
+}
+""")
+        expected = Interpreter(fn.parent).run("f", [4])
+        licm = LICM()
+        assert licm.run_on_function(fn)
+        verify_function(fn)
+        loop_block = next(b for b in fn.blocks if b.name == "loop")
+        assert not any(isinstance(i, LoadInst)
+                       for i in loop_block.instructions)
+        assert licm.statistics()["loads-hoisted-past-writes"] == 1
+        assert Interpreter(fn.parent).run("f", [4]) == expected == 8
+
+    def test_load_not_hoisted_past_clobbering_store(self):
+        fn = parse_function("""
+int %f(int %n) {
+entry:
+  %a = alloca int
+  store int 5, int* %a
+  br label %loop
+loop:
+  %i = phi int [ 0, %entry ], [ %next, %loop ]
+  %v = load int* %a
+  %acc = add int %i, %v
+  store int %acc, int* %a
+  %next = add int %i, 1
+  %c = setlt int %next, %n
+  br bool %c, label %loop, label %out
+out:
+  ret int %acc
+}
+""")
+        LICM().run_on_function(fn)
+        verify_function(fn)
+        loop_block = next(b for b in fn.blocks if b.name == "loop")
+        assert any(isinstance(i, LoadInst) for i in loop_block.instructions)
+
+    def test_load_hoisted_past_call_via_modref(self):
+        module = compile_source("""
+static int counter = 0;
+static int source = 41;
+
+static void bump() { counter = counter + 1; }
+
+int f(int n) {
+  int acc = 0;
+  int i = 0;
+  do {
+    acc = acc + source;
+    bump();
+    i = i + 1;
+  } while (i < n);
+  return acc + counter;
+}
+""", "m")
+        fn = module.functions["f"]
+        PromoteMem2Reg().run_on_function(fn)
+        expected = Interpreter(module).run("f", [3])
+        licm = LICM()
+        licm.run_on_function(fn)
+        verify_function(fn)
+        # The load of %source moves out (bump only writes %counter);
+        # the load of %counter stays in place.
+        hoisted = licm.statistics()["loads-hoisted-past-writes"]
+        assert hoisted >= 1
+        assert Interpreter(module).run("f", [3]) == expected == 126
+
+    def test_load_not_hoisted_past_call_that_writes_it(self):
+        module = compile_source("""
+static int cell = 41;
+
+static void poke() { cell = cell + 1; }
+
+int f(int n) {
+  int acc = 0;
+  int i = 0;
+  do {
+    acc = acc + cell;
+    poke();
+    i = i + 1;
+  } while (i < n);
+  return acc;
+}
+""", "m")
+        fn = module.functions["f"]
+        PromoteMem2Reg().run_on_function(fn)
+        expected = Interpreter(module).run("f", [3])
+        licm = LICM()
+        licm.run_on_function(fn)
+        verify_function(fn)
+        assert licm.statistics()["loads-hoisted-past-writes"] == 0
+        assert Interpreter(module).run("f", [3]) == expected == 126
+
+
+class TestGVNDSA:
+    """Redundant-load elimination across stores only DSA can refute."""
+
+    def test_load_survives_store_through_phi_pointer(self):
+        # The second load of %slot is redundant: the intervening store
+        # goes through a phi of %other, which the syntactic alias walker
+        # cannot resolve (MAY_ALIAS) but DSA proves disjoint.
+        fn = parse_function("""
+int %f(bool %c) {
+entry:
+  %slot = alloca int
+  %other = alloca int
+  store int 7, int* %slot
+  store int 1, int* %other
+  br bool %c, label %left, label %right
+left:
+  br label %body
+right:
+  br label %body
+body:
+  %q = phi int* [ %other, %left ], [ %other, %right ]
+  %v1 = load int* %slot
+  store int 9, int* %q
+  %v2 = load int* %slot
+  %sum = add int %v1, %v2
+  ret int %sum
+}
+""")
+        expected = Interpreter(fn.parent).run("f", [1])
+        gvn = GVN()
+        assert gvn.run_on_function(fn)
+        verify_function(fn)
+        body = next(b for b in fn.blocks if b.name == "body")
+        assert sum(isinstance(i, LoadInst)
+                   for i in body.instructions) == 1
+        assert gvn.statistics()["loads-eliminated-via-dsa"] == 1
+        assert Interpreter(fn.parent).run("f", [1]) == expected == 14
+
+    def test_load_evicted_when_store_may_clobber(self):
+        # Same shape, but the phi carries %slot itself: DSA unifies the
+        # store target with the loaded slot and the fact must die.
+        fn = parse_function("""
+int %f(bool %c) {
+entry:
+  %slot = alloca int
+  store int 7, int* %slot
+  br bool %c, label %left, label %right
+left:
+  br label %body
+right:
+  br label %body
+body:
+  %q = phi int* [ %slot, %left ], [ %slot, %right ]
+  %v1 = load int* %slot
+  store int 9, int* %q
+  %v2 = load int* %slot
+  %sum = add int %v1, %v2
+  ret int %sum
+}
+""")
+        expected = Interpreter(fn.parent).run("f", [1])
+        gvn = GVN()
+        gvn.run_on_function(fn)
+        verify_function(fn)
+        body = next(b for b in fn.blocks if b.name == "body")
+        assert sum(isinstance(i, LoadInst)
+                   for i in body.instructions) == 2
+        assert gvn.statistics()["loads-eliminated-via-dsa"] == 0
+        assert Interpreter(fn.parent).run("f", [1]) == expected == 16
