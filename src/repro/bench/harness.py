@@ -56,6 +56,11 @@ class BenchConfig:
     transactional: bool = True
     #: Size of the synthetic high-fanout use-list microbenchmark.
     rauw_fanout: int = 5000
+    #: Benchsuite programs for the execution-tier phases (plain
+    #: interpreter vs the warm trace-JIT); empty list skips them.
+    #: The defaults are hot-loop programs where traces dominate.
+    jit_programs: list = field(
+        default_factory=lambda: ["gzip", "mesa", "bzip2"])
 
 
 # ---------------------------------------------------------------------------
@@ -292,6 +297,43 @@ def _bench_rauw(config: BenchConfig, table: _PhaseTable) -> None:
         build, churn, config.warmup, config.repeat))
 
 
+def _bench_jit(config: BenchConfig, table: _PhaseTable,
+               progress: Optional[Callable[[str], None]] = None) -> None:
+    """Execution-tier phases over designated hot-loop programs.
+
+    ``exec.interp`` is the plain IR interpreter; ``jit.trace`` is the
+    same program with a *warm* software trace cache — the TraceManager
+    persists across runs (the lifelong story: traces compiled in one
+    end-user run keep paying off in the next), so the timed runs
+    measure steady-state trace execution, not compile cost.  The
+    warmup run doubles as the training run that populates the cache.
+    The ``jit.trace``/``exec.interp`` ratio in the report is the
+    trace tier's wall-clock speedup.
+    """
+    from ..benchsuite import compile_benchmark
+    from ..execution import Interpreter, TraceManager
+
+    # Interpreter runs are orders slower than compiler phases; cap the
+    # repeats so the execution phases don't dominate the sweep.
+    repeat = min(config.repeat, 3)
+    for name in config.jit_programs:
+        if progress is not None:
+            progress(f"{name} (execution tiers)")
+        module = compile_benchmark(name, level=config.level, lto=True)
+        table.record("exec.interp", name, _timed(
+            lambda: Interpreter(module),
+            lambda interp: interp.run("main", []), 1, repeat))
+        manager = TraceManager(hot_threshold=50)
+
+        def traced():
+            interp = Interpreter(module)
+            manager.attach(interp)
+            return interp
+
+        table.record("jit.trace", name, _timed(
+            traced, lambda interp: interp.run("main", []), 1, repeat))
+
+
 def run_bench(config: Optional[BenchConfig] = None,
               progress: Optional[Callable[[str], None]] = None) -> dict:
     """The full sweep; returns the JSON-able report."""
@@ -307,6 +349,8 @@ def run_bench(config: Optional[BenchConfig] = None,
             progress(name)
         _bench_program(name, sources, config, table, passes)
     _bench_rauw(config, table)
+    if config.jit_programs:
+        _bench_jit(config, table, progress)
     report = {
         "schema": SCHEMA,
         "created": _datetime.datetime.now(

@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 
 from ..bitcode import write_bytecode
 from ..core.module import Module
-from ..execution import Interpreter
+from ..execution import Interpreter, TraceManager
 from ..profile import (
     Granularity, OfflineReoptimizer, ProfileData, ProfileInstrumentation,
     ReoptimizationReport,
@@ -43,7 +43,8 @@ class LifelongSession:
     def __init__(self, sources: Sequence[str], name: str = "program",
                  level: int = 2, cache: Optional[BytecodeCache] = None,
                  jobs: int = 1,
-                 fault_policy: Optional[FaultPolicy] = None):
+                 fault_policy: Optional[FaultPolicy] = None,
+                 jit_traces: bool = False, trace_threshold: int = 50):
         self.cache = cache
         self._sources = list(sources)
         self._name = name
@@ -71,12 +72,23 @@ class LifelongSession:
         instrumentation.run_on_module(self.module)
         self.profile = ProfileData(instrumentation.profile_map)
         self.reopt_reports: list[ReoptimizationReport] = []
+        #: The trace-compiling tier, shared by every run of this
+        #: session: traces compiled during one end-user run keep paying
+        #: off in the next (the software trace cache is as lifelong as
+        #: the IR), until :meth:`reoptimize` rewrites the IR underneath
+        #: them and invalidates the lot.
+        self.trace_manager: Optional[TraceManager] = (
+            TraceManager(hot_threshold=trace_threshold)
+            if jit_traces else None
+        )
 
     def run(self, function: str = "main", args: Sequence = (),
             step_limit: int = 50_000_000) -> RunResult:
         """One end-user run; profile counters accumulate."""
         interp = Interpreter(self.module, step_limit=step_limit,
                              extra_externals=self.profile.externals())
+        if self.trace_manager is not None:
+            self.trace_manager.attach(interp)
         exit_value = interp.run(function, args)
         return RunResult(exit_value, "".join(interp.output), interp.steps)
 
@@ -87,6 +99,8 @@ class LifelongSession:
         interp = Interpreter(self.module, step_limit=step_limit,
                              extra_externals={"__profile_count":
                                               lambda i, a: None})
+        if self.trace_manager is not None:
+            self.trace_manager.attach(interp)
         exit_value = interp.run(function, args)
         return RunResult(exit_value, "".join(interp.output), interp.steps)
 
@@ -117,7 +131,14 @@ class LifelongSession:
         state (the program keeps running exactly as before) and an
         empty report is returned — a daemon doing this at idle time
         must never lose the program to its own bug.
+
+        Either way the software trace cache is invalidated: compiled
+        traces are closures over specific block objects, and both a
+        successful rewrite and a snapshot rollback replace those
+        objects under them.
         """
+        if self.trace_manager is not None:
+            self.trace_manager.invalidate_all()
         if self.fault_policy is not None:
             from .passmanager import (
                 CrashReport, restore_module, snapshot_module,

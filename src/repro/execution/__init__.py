@@ -7,9 +7,14 @@ from .interpreter import (
 )
 from .jit import JITEngine
 from .memory import Memory, MemoryFault
+from .tracejit import (
+    CompiledTrace, TraceCache, TraceJITStats, TraceManager, Untraceable,
+)
 
 __all__ = [
     "ExecutionError", "ExitCalled", "Interpreter", "JITEngine",
     "StepLimitExceeded", "UndefinedFunction", "UnhandledUnwind",
     "Memory", "MemoryFault",
+    "CompiledTrace", "TraceCache", "TraceJITStats", "TraceManager",
+    "Untraceable",
 ]

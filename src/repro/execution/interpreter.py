@@ -97,6 +97,11 @@ class Interpreter:
         #: Set by the JIT engine: called with a declaration about to be
         #: executed, to materialise its body from bytecode on demand.
         self.lazy_loader: Optional[Callable] = None
+        #: Set by the trace JIT (``--jit-traces``): a
+        #: :class:`repro.execution.tracejit.TraceManager` receiving
+        #: every block entry — it counts hotness, records paths, and
+        #: runs compiled traces in place of the dispatch loop.
+        self.trace_manager = None
         from .externals import default_externals
 
         self.externals: dict[str, Callable] = default_externals()
@@ -260,6 +265,8 @@ class Interpreter:
             frame.allocas.append(area)
         if self.block_hook is not None:
             self.block_hook(self, frame.block)
+        if self.trace_manager is not None:
+            self.trace_manager.on_block(self, frame, frame.block)
         return frame
 
     def _store_va_slot(self, address: int, value) -> None:
@@ -296,6 +303,8 @@ class Interpreter:
         frame.index = len(phis)
         if self.block_hook is not None:
             self.block_hook(self, dest)
+        if self.trace_manager is not None:
+            self.trace_manager.on_block(self, frame, dest)
 
     def _pop_frame(self, stack: list[_Frame]) -> _Frame:
         frame = stack.pop()

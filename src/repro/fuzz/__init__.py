@@ -19,7 +19,8 @@ from .faultinject import (
 from .generator import ProgramGenerator, generate_program
 from .harness import (
     Divergence, FuzzReport, HarnessConfig, Outcome, ProgramResult,
-    check_program, fuzz, run_interpreter, run_machine,
+    check_program, fuzz, run_interpreter, run_interpreter_traced,
+    run_machine,
 )
 
 __all__ = [
@@ -29,5 +30,5 @@ __all__ = [
     "bisect_passes", "bugpoint_source", "check_program", "clone_module",
     "fuzz", "generate_program", "injected", "reduce_module",
     "registered_sites", "run_fault_matrix", "run_interpreter",
-    "run_machine",
+    "run_interpreter_traced", "run_machine",
 ]

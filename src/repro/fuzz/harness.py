@@ -103,6 +103,30 @@ def run_interpreter(module: Module,
                    output="".join(interp.output))
 
 
+def run_interpreter_traced(module: Module,
+                           step_limit: int = DEFAULT_STEP_LIMIT,
+                           hot_threshold: int = 8) -> Outcome:
+    """The trace-JIT tier: interpreter plus compiled hot-path traces.
+
+    A deliberately low hot threshold so even small generated loops
+    promote to recording, compile, and run through the guard/side-exit
+    machinery this oracle exists to exercise.
+    """
+    from ..execution.tracejit import TraceManager
+
+    interp = Interpreter(module, step_limit=step_limit)
+    TraceManager(hot_threshold=hot_threshold).attach(interp)
+    try:
+        code = interp.run("main")
+    except StepLimitExceeded:
+        return Outcome("timeout", output="".join(interp.output))
+    except (ArithmeticFault, MemoryFault, ExecutionError) as fault:
+        return Outcome("trap", trap=type(fault).__name__,
+                       output="".join(interp.output))
+    return Outcome("exit", code=int(code or 0),
+                   output="".join(interp.output))
+
+
 def run_machine(module: Module, target: Target,
                 step_limit: int = DEFAULT_STEP_LIMIT
                 * MACHINE_STEP_FACTOR) -> Outcome:
@@ -133,6 +157,8 @@ class HarnessConfig:
     step_limit: int = DEFAULT_STEP_LIMIT
     check_roundtrips: bool = True
     translation_validate: bool = False
+    jit_traces: bool = False
+    jit_trace_threshold: int = 8
 
 
 @dataclass
@@ -219,6 +245,20 @@ def check_program(source: str,
                 "a validation finding for the divergent compile",
                 "optimizer output diverges but per-pass validation "
                 "reported nothing", source))
+
+    # Trace-JIT oracle: the same -O0 module with the trace tier armed
+    # (low threshold, so generated loops actually promote) must match
+    # the plain interpreter exactly — same exit/trap, same output.
+    if config.jit_traces:
+        try:
+            record("jit-traces", run_interpreter_traced(
+                module_o0, config.step_limit,
+                config.jit_trace_threshold))
+        except Exception as error:  # trace-compiler crash: a finding
+            result.divergences.append(Divergence(
+                "jit-traces", reference.describe(),
+                f"trace tier crashed: {type(error).__name__}: {error}",
+                source))
 
     # Representation oracles: print->parse and write->read identity.
     if config.check_roundtrips:

@@ -78,7 +78,12 @@ class TraceFormation:
             successors = [s for s in current.successors() if loop.contains(s)]
             if not successors:
                 break
-            total = sum(block_counts.get(s.name, 0) for s in current.successors())
+            # Dedupe before summing: a conditional branch with both
+            # targets equal yields the same successor twice, and
+            # double-counting it would make a perfectly biased edge
+            # look like a 50% split and fail the hot_fraction test.
+            unique = {id(s): s for s in current.successors()}.values()
+            total = sum(block_counts.get(s.name, 0) for s in unique)
             best = max(successors, key=lambda s: block_counts.get(s.name, 0))
             best_count = block_counts.get(best.name, 0)
             if total == 0 or best_count < self.hot_fraction * total:

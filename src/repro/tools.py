@@ -401,15 +401,29 @@ def lc_run(argv=None) -> int:
     parser.add_argument("--step-limit", type=int, default=50_000_000)
     parser.add_argument("--stats", action="store_true",
                         help="print step/memory statistics to stderr")
+    parser.add_argument("--jit-traces", action="store_true",
+                        dest="jit_traces",
+                        help="compile hot paths to guarded traces "
+                        "(the trace-JIT tier; see docs/EXECUTION.md)")
+    parser.add_argument("--trace-threshold", type=int, default=50,
+                        help="block entries before a trace is recorded")
     args = parser.parse_args(argv)
     module = _read_module(args.input)
     interpreter = Interpreter(module, step_limit=args.step_limit)
+    manager = None
+    if args.jit_traces:
+        from .execution import TraceManager
+
+        manager = TraceManager(hot_threshold=args.trace_threshold)
+        manager.attach(interpreter)
     result = interpreter.run(args.entry, args.args)
     sys.stdout.write("".join(interpreter.output))
     if args.stats:
         print(f"steps: {interpreter.steps}", file=sys.stderr)
         print(f"heap bytes live: {interpreter.memory.heap_bytes()}",
               file=sys.stderr)
+        if manager is not None:
+            _print_stats({manager.name: manager.statistics()})
     return int(result) & 0xFF if isinstance(result, int) else 0
 
 
@@ -684,6 +698,12 @@ def lc_fuzz(argv=None) -> int:
                              "(implies --fault-matrix)")
     parser.add_argument("--crash-dir", default=None, dest="crash_dir",
                         help="keep crash reports from --fault-matrix here")
+    parser.add_argument("--jit-traces", action="store_true",
+                        dest="jit_traces",
+                        help="add a trace-JIT oracle column: each "
+                             "program also runs under the trace tier "
+                             "(low hot threshold) and must match the "
+                             "-O0 interpreter exactly")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -704,7 +724,8 @@ def lc_fuzz(argv=None) -> int:
         return 0
     config = HarnessConfig(step_limit=args.step_limit,
                            check_roundtrips=not args.no_roundtrips,
-                           translation_validate=args.translation_validate)
+                           translation_validate=args.translation_validate,
+                           jit_traces=args.jit_traces)
 
     def on_program(seed, result):
         if args.quiet:
@@ -954,6 +975,12 @@ def lc_bench(argv=None) -> int:
     parser.add_argument("--no-transactional", action="store_true",
                         dest="no_transactional",
                         help="skip the transact.O<N> phase")
+    parser.add_argument("--jit-programs", default=None,
+                        dest="jit_programs", metavar="LIST",
+                        help="comma list of benchsuite programs for the "
+                             "execution-tier phases (exec.interp vs the "
+                             "warm trace-JIT jit.trace); 'none' skips "
+                             "them (default: gzip,mesa,bzip2)")
     parser.add_argument("-o", default=None,
                         help="report path (default BENCH_<date>.json; "
                              "'-' prints to stdout only)")
@@ -981,6 +1008,16 @@ def lc_bench(argv=None) -> int:
             if name not in known:
                 parser.error(f"unknown benchsuite program {name!r}")
         config.programs = names
+    if args.jit_programs is not None:
+        if args.jit_programs.strip().lower() == "none":
+            config.jit_programs = []
+        else:
+            names = [name.strip() for name in args.jit_programs.split(",")]
+            known = set(benchmark_names())
+            for name in names:
+                if name not in known:
+                    parser.error(f"unknown benchsuite program {name!r}")
+            config.jit_programs = names
     if args.examples:
         config.extra_programs = discover_examples(args.examples)
 
