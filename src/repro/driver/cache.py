@@ -22,6 +22,15 @@ only because of two representation-equivalence guarantees:
 Entries live one-per-file under a cache directory (``<key>.bc``), or in
 memory when no directory is given.  Writes go through a temp file +
 ``os.replace`` so concurrent compilers never observe torn entries.
+With ``max_bytes`` set the cache is bounded: every store enforces the
+budget by evicting least-recently-used entries (recency is bumped on
+every hit), and deletes are atomic and multi-process-safe — two
+daemons evicting over one directory may race for the same victim, and
+whoever loses the ``unlink`` simply finds the file already gone
+(``cache.evict-race`` in the fault matrix pins this).  Lookup and
+store latency plus the hit rate are tracked for ``-stats``, because a
+shared cache serving a daemon is a performance citizen, not just a
+correctness one.
 Every entry is framed with a SHA-256 integrity digest, so *any*
 corruption — a truncated file, a flipped bit, a partial disk write, an
 entry written by a newer toolchain — is detected on read and handled
@@ -36,6 +45,8 @@ import hashlib
 import os
 import tempfile
 import threading
+import time
+from collections import OrderedDict
 from typing import Optional
 
 from ..bitcode import read_bytecode, write_bytecode
@@ -94,21 +105,31 @@ class BytecodeCache:
 
     name = "bytecode-cache"
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(self, directory: Optional[str] = None,
+                 max_bytes: Optional[int] = None):
         self.directory = directory
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
-        self._memory: dict[str, bytes] = {}
+        #: Byte budget for stored bytecode; None means unbounded.
+        #: Enforced on every store by LRU eviction (the entry being
+        #: stored is never its own victim).
+        self.max_bytes = max_bytes
+        self._memory: OrderedDict[str, bytes] = OrderedDict()
         self._memory_text: dict[str, str] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.lru_evictions = 0
         self.summary_hits = 0
         self.summary_misses = 0
         self.summary_stores = 0
         self.summary_evictions = 0
+        self._lookup_ns = 0
+        self._lookups = 0
+        self._store_ns = 0
+        self._stores_timed = 0
 
     # -- keys ---------------------------------------------------------------
 
@@ -138,15 +159,28 @@ class BytecodeCache:
         The integrity frame is verified here: an entry that fails it —
         torn write, bit flip, foreign or newer format — is evicted and
         reported as a miss, never handed to the decoder.
+
+        A hit also bumps the entry's recency (in-memory order, or the
+        file mtime on disk), which is what the LRU eviction of a
+        bounded cache orders by.
         """
+        started = time.perf_counter_ns()
         if self.directory is None:
-            data = self._memory.get(key)
+            with self._lock:
+                data = self._memory.get(key)
+                if data is not None:
+                    self._memory.move_to_end(key)
         else:
             try:
                 with open(self._path(key), "rb") as handle:
                     data = handle.read()
             except OSError:
                 data = None
+            if data is not None:
+                try:
+                    os.utime(self._path(key))
+                except OSError:
+                    pass  # raced with an eviction; the bytes are ours
         if data is not None:
             # Injected corruption of the *stored entry* lands before the
             # frame check, exactly like real disk corruption would: the
@@ -162,13 +196,19 @@ class BytecodeCache:
                 self.misses += 1
             else:
                 self.hits += 1
+            self._lookups += 1
+            self._lookup_ns += time.perf_counter_ns() - started
         return data
 
     def store_bytes(self, key: str, data: bytes) -> None:
-        """Store an artifact atomically (last writer wins)."""
+        """Store an artifact atomically (last writer wins); with
+        ``max_bytes`` set, then evict LRU entries past the budget."""
+        started = time.perf_counter_ns()
         data = _frame(data)
         if self.directory is None:
-            self._memory[key] = data
+            with self._lock:
+                self._memory[key] = data
+                self._memory.move_to_end(key)
         else:
             fd, temp_path = tempfile.mkstemp(dir=self.directory,
                                              suffix=".tmp")
@@ -182,8 +222,75 @@ class BytecodeCache:
                 except OSError:
                     pass
                 raise
+        self._enforce_budget(keep=key)
         with self._lock:
             self.stores += 1
+            self._stores_timed += 1
+            self._store_ns += time.perf_counter_ns() - started
+
+    # -- bounded-cache eviction ---------------------------------------------
+
+    def _enforce_budget(self, keep: Optional[str] = None) -> None:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Multi-process safe by construction: the scan tolerates files
+        vanishing mid-walk and the delete tolerates losing the unlink
+        race to a concurrent evictor (``cache.evict-race`` injects
+        exactly that race) — either way the entry is gone, which is
+        all eviction promises.  The just-stored entry (``keep``) is
+        never its own victim, so a single oversized artifact still
+        caches.
+        """
+        if self.max_bytes is None:
+            return
+        evicted = 0
+        if self.directory is None:
+            with self._lock:
+                total = sum(len(blob) for blob in self._memory.values())
+                for victim in list(self._memory):
+                    if total <= self.max_bytes:
+                        break
+                    if victim == keep:
+                        continue
+                    total -= len(self._memory.pop(victim))
+                    self._memory_text.pop(victim, None)
+                    evicted += 1
+        else:
+            entries = []
+            for name in os.listdir(self.directory):
+                if not name.endswith(".bc"):
+                    continue
+                path = os.path.join(self.directory, name)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue  # vanished under us: a concurrent evictor
+                entries.append((status.st_mtime_ns, status.st_size, path))
+            total = sum(size for _, size, _ in entries)
+            entries.sort()
+            keep_path = self._path(keep) if keep is not None else None
+            hooks = _fault_hooks()
+            for _, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                if path == keep_path:
+                    continue
+                # Injected race: a concurrent daemon deletes the victim
+                # between our scan and our unlink.
+                hooks.race_delete("cache.evict-race", path)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass  # lost the race; the entry is gone either way
+                try:
+                    os.unlink(path[:-len(".bc")] + ".json")
+                except OSError:
+                    pass
+                total -= size
+                evicted += 1
+        if evicted:
+            with self._lock:
+                self.lru_evictions += evicted
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry (used by the reoptimizer when it rewrites the
@@ -299,13 +406,26 @@ class BytecodeCache:
     # -- observability ------------------------------------------------------
 
     def statistics(self) -> dict[str, int]:
-        """Counters in the shape the ``-stats`` machinery expects."""
+        """Counters in the shape the ``-stats`` machinery expects.
+
+        Besides the raw hit/miss/store/eviction counts this derives the
+        rates a daemon operator actually watches: the hit percentage
+        and the average lookup and store latency in microseconds.
+        """
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "cache-hits": self.hits,
                 "cache-misses": self.misses,
                 "cache-stores": self.stores,
                 "cache-evictions": self.evictions,
+                "cache-lru-evictions": self.lru_evictions,
+                "cache-hit-rate-pct": (100 * self.hits // lookups
+                                       if lookups else 0),
+                "cache-lookup-avg-us": (self._lookup_ns // self._lookups
+                                        // 1000 if self._lookups else 0),
+                "cache-store-avg-us": (self._store_ns // self._stores_timed
+                                       // 1000 if self._stores_timed else 0),
                 "summary-hits": self.summary_hits,
                 "summary-misses": self.summary_misses,
                 "summary-stores": self.summary_stores,

@@ -82,6 +82,20 @@ class LifelongSession:
             if jit_traces else None
         )
 
+    def statistics(self) -> dict[str, int]:
+        """One merged ``-stats`` view of the whole session: fault-policy
+        counters and cache counters under one roof.  This is what
+        lc-serverd reports per reoptimize request — a daemon hosting
+        many sessions aggregates these into its ``serverd.*`` totals.
+        """
+        stats: dict[str, int] = {}
+        if self.fault_policy is not None:
+            stats.update(self.fault_policy.statistics())
+        if self.cache is not None:
+            stats.update(self.cache.statistics())
+        stats["reopt.reports"] = len(self.reopt_reports)
+        return stats
+
     def run(self, function: str = "main", args: Sequence = (),
             step_limit: int = 50_000_000) -> RunResult:
         """One end-user run; profile counters accumulate."""

@@ -230,6 +230,13 @@ class FaultPolicy:
     #: (--translation-validate); violations roll back like crashes
     translation_validate: bool = False
     validation_config: Optional[ValidationConfig] = None
+    #: Absolute ``time.monotonic()`` deadline for the whole build this
+    #: policy governs (lc-serverd threads each request's deadline in
+    #: here).  Per-pass watchdog time budgets are capped to the time
+    #: remaining, so a deadline-pressed compile sheds optimization —
+    #: budget-exceeded passes roll back and the ladder degrades —
+    #: instead of having to be killed from outside.
+    deadline: Optional[float] = None
 
     crash_reports: list = field(default_factory=list)
 
@@ -273,6 +280,20 @@ class FaultPolicy:
             return dict(self._counters)
 
     name = "fault-policy"  # the -stats source label
+
+    def time_budget(self, budget: Optional[float] = None) -> float:
+        """A watchdog time budget, capped by the remaining deadline.
+
+        With no :attr:`deadline` this is just the configured budget.
+        Past the deadline it bottoms out at a tiny positive slice, so
+        a pass still *starts* (and immediately trips the watchdog,
+        rolling back cleanly) rather than dividing by zero somewhere.
+        """
+        if budget is None:
+            budget = self.pass_time_budget
+        if self.deadline is None:
+            return budget
+        return min(budget, max(0.05, self.deadline - time.monotonic()))
 
     # -- translation validation ---------------------------------------------
 
@@ -437,7 +458,7 @@ class TransactionalPassManager(PassManager):
                 snapshot = snapshot_function(function)
                 self._snapshots[fn_name] = snapshot
             try:
-                with _Watchdog(policy.pass_time_budget,
+                with _Watchdog(policy.time_budget(),
                                policy.pass_step_budget):
                     claimed = pass_obj.run_on_function(function)
                 if not claimed:
@@ -519,7 +540,7 @@ class TransactionalPassManager(PassManager):
             snapshot = snapshot_module(module)
             self._module_snapshot = snapshot
         try:
-            with _Watchdog(policy.pass_time_budget, policy.pass_step_budget):
+            with _Watchdog(policy.time_budget(), policy.pass_step_budget):
                 self._check_injection(name)
                 claimed = pass_obj.run_on_module(module)
             if not claimed:
@@ -633,7 +654,8 @@ class TransactionalPassManager(PassManager):
                 for other in list(probe.defined_functions()):
                     if other.name != function_name:
                         other.delete_body()
-                with _Watchdog(policy.reduce_time_budget,
+                with _Watchdog(policy.time_budget(
+                                   policy.reduce_time_budget),
                                policy.reduce_step_budget):
                     _run_pass_plain(_fresh_pass(pass_obj), probe)
                 verify_module(probe)
@@ -660,7 +682,8 @@ class TransactionalPassManager(PassManager):
         def crashes(candidate: Module) -> bool:
             try:
                 pre_pass = snapshot_module(candidate) if validate else None
-                with _Watchdog(policy.reduce_time_budget,
+                with _Watchdog(policy.time_budget(
+                                   policy.reduce_time_budget),
                                policy.reduce_step_budget):
                     _run_pass_plain(_fresh_pass(pass_obj), candidate)
                 verify_module(candidate)

@@ -52,7 +52,20 @@ STATIC_SITES: dict[str, str] = {
     "bytecode.corrupt": "flip four bits of a stored cache entry",
     "sidecar.corrupt": "make an analysis-summary sidecar unparseable",
     "linker.symbol-clash": "raise a duplicate-symbol error while linking",
+    "cache.evict-race": "delete an LRU eviction victim out from under "
+                        "the evictor (concurrent-daemon race)",
+    "server.worker-crash": "kill the lc-serverd worker process "
+                           "mid-request (supervisor restarts it)",
+    "server.queue-overflow": "treat the admission queue as full for one "
+                             "request (structured BUSY shed)",
+    "server.request-timeout": "stall one request past its deadline "
+                              "(dispatch watchdog kills the worker)",
 }
+
+#: Sites exercised through a live lc-serverd daemon rather than a
+#: plain batch compile; the matrix runs them in a dedicated cell.
+SERVER_SITES = ("server.worker-crash", "server.queue-overflow",
+                "server.request-timeout")
 
 
 class FaultPlan:
@@ -130,6 +143,19 @@ def _claim(site: str) -> Optional[FaultPlan]:
     return None
 
 
+def claim(site: str) -> Optional[FaultPlan]:
+    """Atomically consume the armed plan if it targets ``site``.
+
+    The public face of :func:`_claim`, for components that *carry* a
+    fault to where it happens rather than raising on the spot — the
+    lc-serverd supervisor claims ``server.*`` plans at dispatch time
+    and ships the injection to the worker process in the job itself
+    (the armed plan lives in supervisor memory; the worker is a
+    different process).
+    """
+    return _claim(site)
+
+
 def check(site: str) -> None:
     """Check site: raise :class:`InjectedFault` if armed for ``site``."""
     plan = _claim(site)
@@ -153,6 +179,21 @@ def mangle(site: str, data: bytes) -> bytes:
     for _ in range(flips):
         buffer[rng.randrange(len(buffer))] ^= 1 << rng.randrange(8)
     return bytes(buffer)
+
+
+def race_delete(site: str, path: str) -> None:
+    """Race site for file deletes: if armed, delete ``path`` first —
+    modelling a concurrent process winning the eviction race, so the
+    caller's own ``unlink`` finds the file already gone."""
+    plan = _claim(site)
+    if plan is None:
+        return
+    import os
+
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 def mangle_text(site: str, text: str) -> str:
@@ -245,6 +286,15 @@ def _run_cell(site, program_seed, source, reference, clean_diags,
               fault_seed, level, step_limit, crash_dir,
               BytecodeCache, FaultPolicy, compile_and_link,
               lint_whole_program, run_interpreter, tempfile) -> FaultOutcome:
+    if site in SERVER_SITES:
+        return _run_server_cell(site, program_seed, source, reference,
+                                fault_seed, level, step_limit, tempfile)
+    if site == "cache.evict-race":
+        return _run_evict_race_cell(site, program_seed, source, reference,
+                                    fault_seed, level, step_limit,
+                                    BytecodeCache, FaultPolicy,
+                                    compile_and_link, run_interpreter,
+                                    tempfile)
     with tempfile.TemporaryDirectory(prefix="lc-faultmatrix-") as tmp:
         policy = FaultPolicy(crash_dir=crash_dir or f"{tmp}/crashes",
                              reduce_testcases=False)
@@ -279,4 +329,88 @@ def _run_cell(site, program_seed, source, reference, clean_diags,
             disarm()
             return FaultOutcome(site, program_seed, False, True,
                                 f"unhandled {type(error).__name__}: {error}")
+        return FaultOutcome(site, program_seed, ok, plan.fired, detail)
+
+
+def _run_evict_race_cell(site, program_seed, source, reference, fault_seed,
+                         level, step_limit, BytecodeCache, FaultPolicy,
+                         compile_and_link, run_interpreter,
+                         tempfile) -> FaultOutcome:
+    """cache.evict-race: a bounded cache evicting under a concurrent
+    delete must lose only time, never correctness."""
+    # A second, distinct TU whose cached entry becomes the LRU victim.
+    victim_source = source + "\nint faultpad(int x) { return x + 1; }\n"
+    with tempfile.TemporaryDirectory(prefix="lc-faultmatrix-") as tmp:
+        policy = FaultPolicy(crash_dir=f"{tmp}/crashes",
+                             reduce_testcases=False)
+        # max_bytes=1: any second entry forces an eviction of the first.
+        cache = BytecodeCache(f"{tmp}/cache", max_bytes=1)
+        try:
+            compile_and_link([victim_source], "warm", level=level,
+                             cache=cache, policy=policy)
+            with injected(site, fault_seed) as plan:
+                module = compile_and_link([source], "fault", level=level,
+                                          cache=cache, policy=policy)
+                outcome = run_interpreter(module, step_limit)
+            ok = outcome == reference and cache.lru_evictions >= 1
+            detail = "" if ok else (f"expected {reference.describe()}, got "
+                                    f"{outcome.describe()} "
+                                    f"({cache.lru_evictions} evictions)")
+        except Exception as error:
+            disarm()
+            return FaultOutcome(site, program_seed, False, True,
+                                f"unhandled {type(error).__name__}: {error}")
+        return FaultOutcome(site, program_seed, ok, plan.fired, detail)
+
+
+def _run_server_cell(site, program_seed, source, reference, fault_seed,
+                     level, step_limit, tempfile) -> FaultOutcome:
+    """server.*: one fault through a live daemon.
+
+    The cell passes iff the daemon survives, the faulted request comes
+    back as either a clean result or a *structured* error, and a
+    follow-up (or client-retried) request still produces the clean
+    reference behaviour — one transient fault costs at most one
+    request, never the service.
+    """
+    from ..bitcode import read_bytecode
+    from ..serve import (
+        ServeClient, ServeRequestError, Server, ServerConfig,
+    )
+    from .harness import run_interpreter
+
+    with tempfile.TemporaryDirectory(prefix="lc-faultmatrix-") as tmp:
+        server = Server(ServerConfig(socket_path=f"{tmp}/serve.sock",
+                                     workers=1, queue_depth=4,
+                                     cache_dir=f"{tmp}/cache",
+                                     idle_reopt=False))
+        client = ServeClient(server.address, retry_budget=4,
+                             backoff_base=0.01, jitter_seed=fault_seed)
+        plan = arm(site, fault_seed)
+        # Tight deadline only for the stall site, so its watchdog cell
+        # stays fast; everything else gets room to finish.
+        deadline_ms = 2_000 if site == "server.request-timeout" else 60_000
+        try:
+            try:
+                result = client.compile([source], "fault", level=level,
+                                        deadline_ms=deadline_ms)
+            except ServeRequestError:
+                # The injected fault consumed one request with a
+                # structured error (TIMEOUT is not client-retryable by
+                # design); the fault is spent, so re-issuing must work.
+                result = client.compile([source], "fault", level=level)
+            outcome = run_interpreter(read_bytecode(result["bytecode"]),
+                                      step_limit)
+            alive = client.ping().get("pong") is True
+            ok = outcome == reference and alive
+            detail = "" if ok else (
+                f"expected {reference.describe()}, got "
+                f"{outcome.describe()}" if alive else "daemon died")
+        except Exception as error:
+            return FaultOutcome(site, program_seed, False, True,
+                                f"unhandled {type(error).__name__}: {error}")
+        finally:
+            disarm()
+            client.close()
+            server.stop()
         return FaultOutcome(site, program_seed, ok, plan.fired, detail)

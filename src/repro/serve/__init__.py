@@ -1,0 +1,26 @@
+"""lc-serverd: the persistent, crash-only compilation service.
+
+The lifelong compilation loop, promoted from an in-process object
+(:class:`repro.driver.lifelong.LifelongSession`) to a long-lived
+daemon serving many concurrent clients (docs/SERVING.md):
+
+* :mod:`repro.serve.protocol` — hardened length-framed JSON wire
+  protocol with structured, byte-offset-located errors;
+* :mod:`repro.serve.workers` — the supervised crash-only worker pool;
+* :mod:`repro.serve.scheduler` — bounded admission, deadlines,
+  backoff retries, and the graceful-degradation controller;
+* :mod:`repro.serve.server` — the daemon: front door, drain-based
+  shutdown, idle-time reoptimization;
+* :mod:`repro.serve.client` — the deadline- and budget-aware client.
+"""
+
+from .client import (
+    ServeClient, ServeClientError, ServeRequestError, ServeTransportError,
+)
+from .protocol import ServeError
+from .server import Server, ServerConfig
+
+__all__ = [
+    "Server", "ServerConfig", "ServeClient", "ServeClientError",
+    "ServeError", "ServeRequestError", "ServeTransportError",
+]

@@ -1,0 +1,241 @@
+"""ServeClient: the polite, deadline-aware lc-serverd client.
+
+Retry policy mirrors what the daemon promises:
+
+* ``BUSY`` and ``WORKER_CRASH`` responses are marked retryable and are
+  retried under **capped exponential backoff with deterministic
+  jitter**, honouring the server's ``retry_after_ms`` hint when one is
+  given;
+* retries draw on a **per-client retry budget** shared across all of
+  the client's requests — a client that keeps meeting a busy daemon
+  runs out of politeness and starts surfacing the errors, instead of
+  amplifying an overload with synchronized retry storms;
+* ``TIMEOUT`` is never retried automatically: the deadline was this
+  client's own contract;
+* transport failures (connection refused mid-conversation, a torn
+  frame) count as retryable transient faults and reconnect.
+
+Every request carries a deadline; the socket read timeout is the
+deadline plus slack, so a wedged daemon yields a structured
+:class:`ServeTransportError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import socket
+import time
+from base64 import b64decode
+from typing import Optional, Sequence
+
+from . import protocol
+from .protocol import FrameStream, ServeError
+
+
+class ServeClientError(Exception):
+    """Base of everything this client raises on purpose."""
+
+
+class ServeRequestError(ServeClientError):
+    """The daemon answered with a structured error response."""
+
+    def __init__(self, code: str, message: str,
+                 retry_after_ms: Optional[int] = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after_ms = retry_after_ms
+
+
+class ServeTransportError(ServeClientError):
+    """The conversation itself failed (connect, frame, timeout)."""
+
+
+class ServeClient:
+    """One connection to one daemon, with retries and a budget."""
+
+    def __init__(self, address, connect_timeout: float = 5.0,
+                 retry_budget: int = 8, backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0, jitter_seed: int = 0,
+                 max_frame: int = protocol.MAX_FRAME_BYTES):
+        #: A Unix socket path (str) or a ``(host, port)`` pair.
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self.retry_budget = retry_budget
+        self.retries_used = 0
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
+        self.max_frame = max_frame
+        self._sock: Optional[socket.socket] = None
+        self._stream: Optional[FrameStream] = None
+        self._ids = itertools.count(1)
+
+    # -- transport ----------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._stream is not None:
+            return
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout)
+        try:
+            sock.connect(self.address if isinstance(self.address, str)
+                         else tuple(self.address))
+        except OSError as error:
+            sock.close()
+            raise ServeTransportError(
+                f"cannot connect to {self.address!r}: {error}")
+        self._sock = sock
+        self._stream = FrameStream(sock, self.max_frame)
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._stream = None
+
+    def close(self) -> None:
+        self._disconnect()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- the request loop ---------------------------------------------------
+
+    def _take_retry(self) -> bool:
+        if self.retries_used >= self.retry_budget:
+            return False
+        self.retries_used += 1
+        return True
+
+    def _backoff(self, attempt: int,
+                 hint_ms: Optional[int] = None) -> float:
+        base = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        delay = base * (0.5 + self._rng.random() / 2.0)
+        if hint_ms is not None:
+            delay = max(delay, hint_ms / 1000.0)
+        return min(delay, self.backoff_cap)
+
+    def request(self, op: str, deadline_ms: Optional[int] = None,
+                **payload) -> dict:
+        """One request; returns the ``result`` dict or raises.
+
+        Retryable failures (``BUSY``, ``WORKER_CRASH``, transport
+        faults) are retried with backoff while the per-client budget
+        lasts; everything else surfaces as :class:`ServeRequestError`.
+        """
+        if deadline_ms is None:
+            deadline_ms = protocol.DEFAULT_DEADLINE_MS.get(op, 60_000)
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(op, deadline_ms, payload)
+            except ServeRequestError as error:
+                if (error.code not in protocol.RETRYABLE_CODES
+                        or not self._take_retry()):
+                    raise
+                time.sleep(self._backoff(attempt, error.retry_after_ms))
+            except ServeTransportError:
+                self._disconnect()
+                if not self._take_retry():
+                    raise
+                time.sleep(self._backoff(attempt))
+            attempt += 1
+
+    def _request_once(self, op: str, deadline_ms: int,
+                      payload: dict) -> dict:
+        self._connect()
+        request_id = next(self._ids)
+        frame = {"op": op, "id": request_id, "deadline_ms": deadline_ms}
+        frame.update(payload)
+        # Past the deadline, allow slack for the daemon's own TIMEOUT
+        # response to arrive; only then declare the transport dead.
+        self._sock.settimeout(deadline_ms / 1000.0 + 10.0)
+        try:
+            self._stream.write_frame(frame)
+            while True:
+                response = self._stream.read_frame()
+                if response is None:
+                    raise ServeTransportError(
+                        "daemon closed the connection mid-request")
+                if not isinstance(response, dict):
+                    raise ServeTransportError(
+                        f"non-object response frame: {response!r}")
+                if response.get("id") == request_id:
+                    break
+                # A response to an earlier, abandoned request (e.g. a
+                # previous deadline miss finally answered): skip it.
+        except socket.timeout:
+            raise ServeTransportError(
+                f"no response within {deadline_ms}ms (+slack) for "
+                f"op {op!r}")
+        except (OSError, ServeError) as error:
+            raise ServeTransportError(f"transport failed: {error}")
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error") or {}
+        raise ServeRequestError(error.get("code", protocol.INTERNAL),
+                                error.get("message", "request failed"),
+                                error.get("retry_after_ms"))
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def ping(self, deadline_ms: Optional[int] = None) -> dict:
+        return self.request("ping", deadline_ms)
+
+    def stats(self, deadline_ms: Optional[int] = None) -> dict:
+        return self.request("stats", deadline_ms)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def compile(self, sources: Sequence[str], name: str = "program",
+                level: int = 2, lto: bool = True,
+                deadline_ms: Optional[int] = None) -> dict:
+        """Compile; the returned dict's ``bytecode`` is decoded bytes."""
+        result = self.request("compile", deadline_ms,
+                              sources=list(sources), name=name,
+                              level=level, lto=lto)
+        result["bytecode"] = b64decode(result["bytecode"])
+        return result
+
+    def lint(self, sources: Sequence[str], name: str = "program",
+             level: int = 2, checks: Optional[Sequence[str]] = None,
+             deadline_ms: Optional[int] = None) -> dict:
+        payload = {"sources": list(sources), "name": name, "level": level}
+        if checks is not None:
+            payload["checks"] = list(checks)
+        return self.request("lint", deadline_ms, **payload)
+
+    def reoptimize(self, sources: Sequence[str], name: str = "program",
+                   level: int = 2, runs: Optional[list] = None,
+                   deadline_ms: Optional[int] = None) -> dict:
+        payload = {"sources": list(sources), "name": name, "level": level}
+        if runs is not None:
+            payload["runs"] = runs
+        result = self.request("reoptimize", deadline_ms, **payload)
+        result["bytecode"] = b64decode(result["bytecode"])
+        return result
+
+    def triage(self, seed: Optional[int] = None,
+               source: Optional[str] = None, size: int = 2,
+               step_limit: int = 500_000,
+               deadline_ms: Optional[int] = None) -> dict:
+        payload: dict = {"size": size, "step_limit": step_limit}
+        if seed is not None:
+            payload["seed"] = seed
+        if source is not None:
+            payload["source"] = source
+        return self.request("triage", deadline_ms, **payload)

@@ -1,0 +1,327 @@
+"""The lc-serverd wire protocol: length-framed JSON with hard bounds.
+
+One frame is::
+
+    b"LCS1"  +  4-byte big-endian payload length  +  payload
+
+where the payload is one UTF-8 JSON object.  Requests carry ``op``
+(the request class), an optional client-chosen ``id`` echoed back on
+the response, an optional ``deadline_ms``, and per-op fields
+(:data:`REQUEST_SCHEMAS`).  Responses are ``{"id", "ok", "result"}``
+or ``{"id", "ok": false, "error": {"code", "message", ...}}``.
+
+The decoder is hardened the way the bytecode reader was hardened
+(docs/ROBUSTNESS.md): the magic, the length field, and the JSON body
+are all validated against hard caps *before* any allocation trusts
+them, and every malformed input raises a structured
+:class:`ServeError` carrying the byte offset where parsing stopped —
+never an unhandled exception, and never an unbounded read.  A daemon
+fed garbage closes that one connection and keeps serving
+(tests/test_serverd.py feeds it seeded malformed, truncated and
+oversized frames to prove it).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+MAGIC = b"LCS1"
+_LENGTH = struct.Struct(">I")
+HEADER_BYTES = len(MAGIC) + _LENGTH.size
+
+#: Hard cap on one frame's payload; bigger lengths are rejected from
+#: the 4 header bytes alone, before any buffer is sized from them.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Smallest JSON object a frame could carry (``{}``).
+MIN_PAYLOAD_BYTES = 2
+
+# -- structured errors -------------------------------------------------------
+
+#: Response error codes (the ``error.code`` field).
+PROTOCOL = "PROTOCOL"            # malformed frame; the connection closes
+BAD_REQUEST = "BAD_REQUEST"      # well-framed but invalid request
+BUSY = "BUSY"                    # admission queue past high water: shed
+TIMEOUT = "TIMEOUT"              # deadline expired (queued or executing)
+WORKER_CRASH = "WORKER_CRASH"    # worker died; retries exhausted
+REQUEST_FAILED = "REQUEST_FAILED"  # the work itself failed (bad source...)
+INTERNAL = "INTERNAL"            # unexpected supervisor-side failure
+SHUTTING_DOWN = "SHUTTING_DOWN"  # daemon is draining; no new work
+
+#: Codes a client may transparently retry (with backoff, within its
+#: retry budget).  TIMEOUT is deliberately absent: the deadline was the
+#: caller's own contract, re-deciding it is the caller's call.
+RETRYABLE_CODES = frozenset({BUSY, WORKER_CRASH})
+
+
+class ServeError(Exception):
+    """A protocol-level failure, located by absolute byte offset."""
+
+    def __init__(self, message: str, offset: Optional[int] = None,
+                 code: str = PROTOCOL):
+        where = f" at byte offset {offset}" if offset is not None else ""
+        super().__init__(message + where)
+        self.offset = offset
+        self.code = code
+
+
+# -- request catalogue -------------------------------------------------------
+
+#: op -> {field: validator}; every op also accepts ``id`` and
+#: ``deadline_ms``.  Validators get the value and raise ServeError
+#: (BAD_REQUEST) on trouble.
+_MAX_SOURCES = 64
+_MAX_RUNS = 32
+
+#: Per-class default deadlines (milliseconds), enforced server-side by
+#: the dispatch watchdog whether or not the client sets one.
+DEFAULT_DEADLINE_MS = {
+    "ping": 5_000,
+    "stats": 5_000,
+    "shutdown": 5_000,
+    "sleep": 15_000,
+    "compile": 120_000,
+    "lint": 120_000,
+    "reoptimize": 300_000,
+    "triage": 300_000,
+}
+
+MAX_DEADLINE_MS = 600_000
+
+#: Ops the supervisor answers inline; everything else runs on a worker.
+SUPERVISOR_OPS = frozenset({"ping", "stats", "shutdown"})
+
+
+def _want_sources(value: Any) -> None:
+    if (not isinstance(value, list) or not value
+            or len(value) > _MAX_SOURCES
+            or not all(isinstance(item, str) for item in value)):
+        raise ServeError(f"'sources' must be a non-empty list of at most "
+                         f"{_MAX_SOURCES} strings", code=BAD_REQUEST)
+
+
+def _want_level(value: Any) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or not 0 <= value <= 3:
+        raise ServeError("'level' must be an integer in 0..3",
+                         code=BAD_REQUEST)
+
+
+def _want_int(name: str, low: int, high: int):
+    def check(value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or not low <= value <= high:
+            raise ServeError(f"'{name}' must be an integer in "
+                             f"{low}..{high}", code=BAD_REQUEST)
+    return check
+
+
+def _want_str(name: str):
+    def check(value: Any) -> None:
+        if not isinstance(value, str) or len(value) > 256:
+            raise ServeError(f"'{name}' must be a short string",
+                             code=BAD_REQUEST)
+    return check
+
+
+def _want_bool(name: str):
+    def check(value: Any) -> None:
+        if not isinstance(value, bool):
+            raise ServeError(f"'{name}' must be a boolean",
+                             code=BAD_REQUEST)
+    return check
+
+
+def _want_runs(value: Any) -> None:
+    if not isinstance(value, list) or len(value) > _MAX_RUNS:
+        raise ServeError(f"'runs' must be a list of at most {_MAX_RUNS} "
+                         "entries", code=BAD_REQUEST)
+    for entry in value:
+        if (not isinstance(entry, dict)
+                or not isinstance(entry.get("function", "main"), str)
+                or not isinstance(entry.get("args", []), list)):
+            raise ServeError("each run must be {'function': str, "
+                             "'args': list}", code=BAD_REQUEST)
+
+
+def _want_checks(value: Any) -> None:
+    if (not isinstance(value, list)
+            or not all(isinstance(item, str) for item in value)):
+        raise ServeError("'checks' must be a list of checker names",
+                         code=BAD_REQUEST)
+
+
+def _want_source(value: Any) -> None:
+    if not isinstance(value, str):
+        raise ServeError("'source' must be a string", code=BAD_REQUEST)
+
+
+REQUEST_SCHEMAS: dict[str, dict] = {
+    "ping": {},
+    "stats": {},
+    "shutdown": {},
+    "sleep": {"ms": _want_int("ms", 0, 10_000)},
+    "compile": {"sources": _want_sources, "name": _want_str("name"),
+                "level": _want_level, "lto": _want_bool("lto")},
+    "lint": {"sources": _want_sources, "name": _want_str("name"),
+             "level": _want_level, "checks": _want_checks},
+    "reoptimize": {"sources": _want_sources, "name": _want_str("name"),
+                   "level": _want_level, "runs": _want_runs},
+    "triage": {"seed": _want_int("seed", 0, 2**31), "source": _want_source,
+               "size": _want_int("size", 1, 8),
+               "step_limit": _want_int("step_limit", 1, 50_000_000)},
+}
+
+#: Fields required to be present (beyond having valid types when given).
+_REQUIRED = {
+    "compile": ("sources",),
+    "lint": ("sources",),
+    "reoptimize": ("sources",),
+}
+
+
+def validate_request(obj: Any) -> tuple[str, dict]:
+    """Check one decoded frame as a request; returns ``(op, payload)``.
+
+    Raises :class:`ServeError` with code ``BAD_REQUEST`` on anything
+    malformed — the connection survives, only the request is refused.
+    """
+    if not isinstance(obj, dict):
+        raise ServeError("request must be a JSON object", code=BAD_REQUEST)
+    op = obj.get("op")
+    if not isinstance(op, str) or op not in REQUEST_SCHEMAS:
+        known = ", ".join(sorted(REQUEST_SCHEMAS))
+        raise ServeError(f"unknown op {op!r} (known: {known})",
+                         code=BAD_REQUEST)
+    request_id = obj.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ServeError("'id' must be an integer or string",
+                         code=BAD_REQUEST)
+    deadline = obj.get("deadline_ms")
+    if deadline is not None:
+        _want_int("deadline_ms", 1, MAX_DEADLINE_MS)(deadline)
+    schema = REQUEST_SCHEMAS[op]
+    payload = {}
+    for field, value in obj.items():
+        if field in ("op", "id", "deadline_ms"):
+            continue
+        if field not in schema:
+            raise ServeError(f"op {op!r} does not take field {field!r}",
+                             code=BAD_REQUEST)
+        schema[field](value)
+        payload[field] = value
+    if op == "triage" and "seed" not in payload and "source" not in payload:
+        raise ServeError("triage needs 'seed' or 'source'",
+                         code=BAD_REQUEST)
+    for field in _REQUIRED.get(op, ()):
+        if field not in payload:
+            raise ServeError(f"op {op!r} requires field {field!r}",
+                             code=BAD_REQUEST)
+    return op, payload
+
+
+# -- response construction ---------------------------------------------------
+
+def ok_response(request_id, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, code: str, message: str,
+                   retry_after_ms: Optional[int] = None) -> dict:
+    error = {"code": code, "message": message,
+             "retryable": code in RETRYABLE_CODES}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = retry_after_ms
+    return {"id": request_id, "ok": False, "error": error}
+
+
+# -- framing -----------------------------------------------------------------
+
+def encode_frame(obj: Any, max_frame: int = MAX_FRAME_BYTES) -> bytes:
+    payload = json.dumps(obj, separators=(",", ":"),
+                         sort_keys=True).encode("utf-8")
+    if len(payload) > max_frame:
+        raise ServeError(f"frame payload of {len(payload)} bytes exceeds "
+                         f"the {max_frame}-byte cap")
+    return MAGIC + _LENGTH.pack(len(payload)) + payload
+
+
+class FrameStream:
+    """Frame reader/writer over one socket, tracking byte offsets.
+
+    ``read_frame`` returns the decoded object, ``None`` on a clean EOF
+    *between* frames, and raises :class:`ServeError` for everything
+    else — bad magic, an out-of-bounds length, a mid-frame EOF, or a
+    payload that is not one JSON object.  The offset in the error is
+    absolute over the life of the connection, so a client log line
+    locates the garbage byte exactly.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 max_frame: int = MAX_FRAME_BYTES):
+        self._sock = sock
+        self.max_frame = max_frame
+        self.offset = 0  # bytes consumed from the peer so far
+
+    # .. reading ............................................................
+
+    def _read_exact(self, want: int, what: str) -> Optional[bytes]:
+        """``want`` bytes, ``None`` on immediate EOF, error mid-read."""
+        chunks = []
+        got = 0
+        while got < want:
+            try:
+                chunk = self._sock.recv(min(want - got, 1 << 16))
+            except (ConnectionError, socket.timeout) as error:
+                raise ServeError(f"connection failed reading {what}: "
+                                 f"{error}", self.offset + got)
+            if not chunk:
+                if got == 0:
+                    return None
+                raise ServeError(f"truncated frame: EOF after {got} of "
+                                 f"{want} {what} bytes",
+                                 self.offset + got)
+            chunks.append(chunk)
+            got += len(chunk)
+        data = b"".join(chunks)
+        self.offset += got
+        return data
+
+    def read_frame(self) -> Optional[Any]:
+        start = self.offset
+        header = self._read_exact(HEADER_BYTES, "header")
+        if header is None:
+            return None
+        if header[:len(MAGIC)] != MAGIC:
+            raise ServeError(f"bad frame magic {header[:len(MAGIC)]!r} "
+                             f"(want {MAGIC!r})", start)
+        (length,) = _LENGTH.unpack(header[len(MAGIC):])
+        if length < MIN_PAYLOAD_BYTES:
+            raise ServeError(f"frame length {length} below the "
+                             f"{MIN_PAYLOAD_BYTES}-byte minimum",
+                             start + len(MAGIC))
+        if length > self.max_frame:
+            raise ServeError(f"frame length {length} exceeds the "
+                             f"{self.max_frame}-byte cap",
+                             start + len(MAGIC))
+        body_start = self.offset
+        payload = self._read_exact(length, "payload")
+        if payload is None:
+            raise ServeError("truncated frame: EOF before payload",
+                             body_start)
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise ServeError(f"frame payload is not UTF-8: {error.reason}",
+                             body_start + error.start)
+        except json.JSONDecodeError as error:
+            raise ServeError(f"frame payload is not JSON: {error.msg}",
+                             body_start + error.pos)
+
+    # .. writing ............................................................
+
+    def write_frame(self, obj: Any) -> None:
+        self._sock.sendall(encode_frame(obj, self.max_frame))

@@ -14,6 +14,8 @@
 | lc-bugpoint | bugpoint      | bisect the guilty pass, reduce the program |
 | lc-synth  | (souper)        | synthesize + exhaustively verify peephole rules |
 | lc-bench  | (llvm-bench)    | time the compiler's own hot phases, emit BENCH json |
+| lc-serverd | (no equivalent) | persistent crash-only compilation daemon (docs/SERVING.md) |
+| lc-client | (no equivalent) | talk to a running lc-serverd |
 
 Each accepts ``-`` for stdin/stdout where that makes sense.  Installed
 as console scripts; also callable as ``python -m repro.tools <tool>``.
@@ -23,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .backend import SPARC, X86, compile_for_size, print_machine_function
@@ -1059,11 +1062,250 @@ def lc_bench(argv=None) -> int:
     return 1 if regressions else 0
 
 
+def lc_serverd(argv=None) -> int:
+    """Run the persistent compilation daemon (docs/SERVING.md)."""
+    parser = argparse.ArgumentParser(
+        prog="lc-serverd",
+        description="crash-only persistent compilation service: a "
+                    "supervised worker pool behind a length-framed JSON "
+                    "socket, with deadlines, bounded admission, backoff "
+                    "retries, and graceful degradation under overload",
+    )
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="Unix-domain socket to listen on")
+    parser.add_argument("--host", default=None,
+                        help="TCP listen host (with --port; default "
+                             "127.0.0.1 when --socket is not given)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP listen port (0 = ephemeral, printed "
+                             "on startup)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (the crash domain)")
+    parser.add_argument("--queue-depth", type=int, default=32,
+                        help="bounded admission queue capacity")
+    parser.add_argument("--high-water", type=int, default=None,
+                        help="queue depth at which new requests are shed "
+                             "with BUSY (default: --queue-depth)")
+    parser.add_argument("--degrade-water", type=int, default=None,
+                        help="queue depth at which sustained pressure "
+                             "starts lowering compile levels "
+                             "(default: --queue-depth / 2)")
+    parser.add_argument("--server-retries", type=int, default=1,
+                        help="crash retries per request on a fresh worker")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared on-disk bytecode cache directory")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="LRU-evict the cache past this size")
+    parser.add_argument("--no-idle-reopt", action="store_true",
+                        dest="no_idle_reopt",
+                        help="disable idle-time reoptimization of "
+                             "degraded compiles (paper section 2.4)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds to finish in-flight work on shutdown")
+    parser.add_argument("--fault-inject", default=None, dest="fault_inject",
+                        metavar="SITE:SEED",
+                        help="arm one seeded single-shot fault in the "
+                             "daemon (e.g. server.worker-crash:7); it "
+                             "fires on the first request that reaches "
+                             "the site")
+    parser.add_argument("-stats", "--stats", action="store_true",
+                        dest="stats",
+                        help="print serverd.* counters on shutdown")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    if args.socket and args.host:
+        parser.error("--socket and --host are mutually exclusive")
+    if not args.socket and not args.host and not args.port:
+        parser.error("give a front door: --socket PATH, or "
+                     "--host/--port for TCP")
+
+    import signal
+
+    from .serve import Server, ServerConfig
+
+    if args.fault_inject:
+        from .fuzz import faultinject
+
+        site, seed = _parse_fault_spec(args.fault_inject, parser)
+        if site not in faultinject.registered_sites():
+            parser.error(f"unknown fault site {site!r} "
+                         "(see lc-fuzz --list-fault-sites)")
+        faultinject.arm(site, seed)
+    server = Server(ServerConfig(
+        socket_path=args.socket, host=args.host, port=args.port,
+        workers=args.workers, queue_depth=args.queue_depth,
+        high_water=args.high_water, degrade_water=args.degrade_water,
+        server_retries=args.server_retries, cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        idle_reopt=not args.no_idle_reopt,
+        drain_timeout=args.drain_timeout))
+    if not args.quiet:
+        address = server.address
+        if isinstance(address, str):
+            where = address
+        else:
+            where = f"{address[0]}:{address[1]}"
+        print(f"lc-serverd: pid {os.getpid()} listening on {where}",
+              file=sys.stderr)
+
+    def on_signal(signum, frame):
+        if not args.quiet:
+            print(f"lc-serverd: signal {signum}: draining",
+                  file=sys.stderr)
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    server.wait()
+    if args.stats:
+        _print_stats({"serverd": server.statistics()})
+    if not args.quiet:
+        print("lc-serverd: drained, bye", file=sys.stderr)
+    return 0
+
+
+def _parse_connect(value: str, parser):
+    """``PATH`` (Unix socket) or ``HOST:PORT`` (TCP)."""
+    host, _, port = value.rpartition(":")
+    if host and port.isdigit() and "/" not in value:
+        return (host, int(port))
+    return value
+
+
+def lc_client(argv=None) -> int:
+    """Talk to a running lc-serverd.
+
+    Exit codes: 0 = success, 1 = structured error from the daemon
+    (BUSY past the retry budget, TIMEOUT, a failed request), 2 = usage
+    or transport error.
+    """
+    parser = argparse.ArgumentParser(
+        prog="lc-client",
+        description="client for the lc-serverd compilation service: "
+                    "compile / lint / reoptimize / triage with a "
+                    "deadline, plus ping / stats / shutdown",
+    )
+    parser.add_argument("op", choices=("ping", "stats", "shutdown",
+                                       "compile", "lint", "reoptimize",
+                                       "triage"))
+    parser.add_argument("inputs", nargs="*",
+                        help="LC source files (compile/lint/reoptimize)")
+    parser.add_argument("--connect", required=True, metavar="ADDR",
+                        help="daemon address: a Unix socket path, or "
+                             "HOST:PORT")
+    parser.add_argument("-O", type=int, default=2, dest="level",
+                        help="requested optimization level (the daemon "
+                             "may degrade it under load; the response "
+                             "says what it really used)")
+    parser.add_argument("--name", default="program")
+    parser.add_argument("-o", default=None,
+                        help="write compile/reoptimize bytecode here "
+                             "(- = stdout)")
+    parser.add_argument("--deadline-ms", type=int, default=None,
+                        dest="deadline_ms",
+                        help="request deadline (default: per-op)")
+    parser.add_argument("--retry-budget", type=int, default=8,
+                        dest="retry_budget",
+                        help="total BUSY/crash retries this client may "
+                             "spend before surfacing errors")
+    parser.add_argument("--run", action="append", dest="runs",
+                        metavar="FN[:ARG,...]",
+                        help="reoptimize: a profiled run, e.g. "
+                             "--run main:3,4 (repeatable)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="triage: fuzz-generator seed")
+    parser.add_argument("--source", default=None,
+                        help="triage: LC source file instead of a seed")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full result record as JSON")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    from .serve import ServeClient, ServeRequestError, ServeTransportError
+
+    address = _parse_connect(args.connect, parser)
+    runs = None
+    if args.runs:
+        runs = []
+        for spec in args.runs:
+            function, _, tail = spec.partition(":")
+            run_args = [int(a) for a in tail.split(",") if a.strip()]
+            runs.append({"function": function or "main",
+                         "args": run_args})
+    try:
+        with ServeClient(address, retry_budget=args.retry_budget) as client:
+            if args.op == "ping":
+                result = client.ping(args.deadline_ms)
+            elif args.op == "stats":
+                result = client.stats(args.deadline_ms)
+            elif args.op == "shutdown":
+                result = client.shutdown()
+            elif args.op == "triage":
+                source = _read_text(args.source) if args.source else None
+                result = client.triage(seed=args.seed, source=source,
+                                       deadline_ms=args.deadline_ms)
+            else:
+                if not args.inputs:
+                    parser.error(f"{args.op} needs source files")
+                sources = [_read_text(path) for path in args.inputs]
+                if args.op == "compile":
+                    result = client.compile(sources, name=args.name,
+                                            level=args.level,
+                                            deadline_ms=args.deadline_ms)
+                elif args.op == "lint":
+                    result = client.lint(sources, name=args.name,
+                                         level=args.level,
+                                         deadline_ms=args.deadline_ms)
+                else:
+                    result = client.reoptimize(
+                        sources, name=args.name, level=args.level,
+                        runs=runs, deadline_ms=args.deadline_ms)
+    except ServeRequestError as error:
+        print(f"lc-client: {error}", file=sys.stderr)
+        return 1
+    except (ServeTransportError, OSError) as error:
+        print(f"lc-client: {error}", file=sys.stderr)
+        return 2
+
+    bytecode = result.pop("bytecode", None)
+    if bytecode is not None and args.o:
+        if args.o == "-":
+            sys.stdout.buffer.write(bytecode)
+        else:
+            with open(args.o, "wb") as handle:
+                handle.write(bytecode)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+    elif not args.quiet:
+        if args.op == "stats":
+            _print_stats({"serverd": result})
+        elif args.op == "compile":
+            print(f"lc-client: compiled at -O{result['level']} "
+                  f"(requested -O{result['requested_level']}"
+                  f"{', degraded' if result['degraded'] else ''}"
+                  f"{'' if result['clean'] else ', contained faults'}), "
+                  f"{len(bytecode or b'')} bytecode bytes",
+                  file=sys.stderr)
+        elif args.op == "lint":
+            print(f"lc-client: {result['errors']} error(s), "
+                  f"{result['warnings']} warning(s)", file=sys.stderr)
+            for diag in result.get("diagnostics", []):
+                print(diag, file=sys.stderr)
+        else:
+            print(f"lc-client: {args.op}: "
+                  + json.dumps(result, sort_keys=True, default=str),
+                  file=sys.stderr)
+    if args.op == "lint":
+        return 1 if result.get("errors") else 0
+    return 0
+
+
 _TOOLS = {
     "cc": lc_cc, "as": lc_as, "dis": lc_dis, "opt": lc_opt,
     "link": lc_link, "run": lc_run, "llc": lc_llc, "lint": lc_lint,
     "fuzz": lc_fuzz, "bugpoint": lc_bugpoint, "synth": lc_synth,
     "bench": lc_bench, "absint": lc_absint,
+    "serverd": lc_serverd, "client": lc_client,
 }
 
 

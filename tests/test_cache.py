@@ -307,3 +307,100 @@ class TestLifelongSessionCache:
         LifelongSession(sources, "p", 2, cache=cache)
         warm = LifelongSession(sources, "p", 2, cache=cache)
         assert warm.run().exit_value == 42
+
+
+class TestBoundedCacheLRU:
+    """``max_bytes`` eviction: least-recently-used entries go first,
+    the just-stored entry is never its own victim, and the counters
+    surface through ``-stats`` (the lc-serverd shared-cache contract,
+    docs/SERVING.md)."""
+
+    def _store(self, cache, label: str, size: int = 64) -> str:
+        key = cache.key(label, 2)
+        cache.store_bytes(key, bytes(size))
+        return key
+
+    @pytest.mark.parametrize("on_disk", [False, True])
+    def test_oldest_entry_is_evicted_first(self, tmp_path, on_disk):
+        cache = BytecodeCache(str(tmp_path) if on_disk else None,
+                              max_bytes=220)
+        first = self._store(cache, "a")    # ~84 framed bytes each
+        second = self._store(cache, "b")
+        third = self._store(cache, "c")    # budget blown: "a" must go
+        assert cache.load_bytes(first) is None
+        assert cache.load_bytes(second) is not None
+        assert cache.load_bytes(third) is not None
+        assert cache.statistics()["cache-lru-evictions"] == 1
+
+    @pytest.mark.parametrize("on_disk", [False, True])
+    def test_hit_bumps_recency(self, tmp_path, on_disk):
+        import time as _time
+
+        cache = BytecodeCache(str(tmp_path) if on_disk else None,
+                              max_bytes=220)
+        first = self._store(cache, "a")
+        second = self._store(cache, "b")
+        if on_disk:
+            _time.sleep(0.02)  # let the utime bump order the mtimes
+        assert cache.load_bytes(first) is not None  # "a" is now newest
+        if on_disk:
+            _time.sleep(0.02)
+        self._store(cache, "c")
+        assert cache.load_bytes(second) is None  # "b" was the LRU
+        assert cache.load_bytes(first) is not None
+
+    @pytest.mark.parametrize("on_disk", [False, True])
+    def test_oversized_entry_still_caches(self, tmp_path, on_disk):
+        """The entry being stored is never its own victim: a single
+        artifact bigger than the whole budget still caches (and evicts
+        everything else)."""
+        cache = BytecodeCache(str(tmp_path) if on_disk else None,
+                              max_bytes=100)
+        small = self._store(cache, "small", size=16)
+        big = self._store(cache, "big", size=4096)
+        assert cache.load_bytes(big) is not None
+        assert cache.load_bytes(small) is None
+
+    def test_unbounded_cache_never_lru_evicts(self, tmp_path):
+        cache = BytecodeCache(str(tmp_path))
+        for index in range(8):
+            self._store(cache, f"entry{index}", size=4096)
+        assert cache.statistics()["cache-lru-evictions"] == 0
+        assert len(cache) == 8
+
+    def test_disk_eviction_tolerates_vanished_victims(self, tmp_path):
+        """Multi-process safety: a concurrent evictor deleting the
+        victim between scan and unlink must not break eviction."""
+        cache = BytecodeCache(str(tmp_path), max_bytes=220)
+        first = self._store(cache, "a")
+        self._store(cache, "b")
+        # Simulate the other daemon winning the race for "a".
+        os.unlink(tmp_path / f"{first}.bc")
+        third = self._store(cache, "c")  # must not raise
+        assert cache.load_bytes(third) is not None
+
+    def test_eviction_drops_sidecar_with_entry(self, tmp_path):
+        cache = BytecodeCache(str(tmp_path), max_bytes=220)
+        first = self._store(cache, "a")
+        cache.store_text(first, "summary of a")
+        self._store(cache, "b")
+        self._store(cache, "c")
+        assert cache.load_bytes(first) is None
+        assert cache.load_text(first) is None
+
+
+class TestCacheLatencyStats:
+    def test_hit_rate_and_latency_counters(self, tmp_path):
+        cache = BytecodeCache(str(tmp_path))
+        key = cache.key("x", 2)
+        cache.store_bytes(key, b"payload")
+        assert cache.load_bytes(key) == b"payload"
+        assert cache.load_bytes(cache.key("missing", 2)) is None
+        stats = cache.statistics()
+        assert stats["cache-hit-rate-pct"] == 50  # 1 hit / 2 lookups
+        assert stats["cache-lookup-avg-us"] >= 0
+        assert stats["cache-store-avg-us"] >= 0
+        assert "cache-lru-evictions" in stats
+
+    def test_hit_rate_with_no_lookups_is_zero(self):
+        assert BytecodeCache().statistics()["cache-hit-rate-pct"] == 0
